@@ -1,0 +1,333 @@
+package dpspark
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (model mode — regenerates the experiment at a
+// CI-friendly problem size; run cmd/dpspark for full 32K paper scale),
+// plus real-mode benchmarks of the kernels and the engine, and the
+// ablations DESIGN.md §5 calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Model-mode benches report the regenerated headline metric via b.ReportMetric
+// (modelled seconds), so shape changes are visible in benchmark diffs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpspark/internal/baseline"
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/experiments"
+	"dpspark/internal/kernels"
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+)
+
+// benchN is the model-mode problem size for benchmarks: large enough to
+// preserve the paper's grid shapes (r = 8..32 across block sizes), small
+// enough for quick runs.
+const benchN = 8192
+
+// BenchmarkTableI regenerates Table I (GE, CB, 4-way recursive kernels:
+// executor-cores × OMP_NUM_THREADS grid) and reports the best cell.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiments.TableI(benchN)
+		reportBest(b, results)
+	}
+}
+
+// BenchmarkTableII regenerates Table II (FW-APSP, IM, 16-way recursive).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiments.TableII(benchN)
+		reportBest(b, results)
+	}
+}
+
+// BenchmarkFig6FW regenerates the FW-APSP panel of Fig. 6 and reports the
+// headline iterative→recursive speedup.
+func BenchmarkFig6FW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiments.Fig6(experiments.FW, benchN)
+		h := experiments.ComputeHeadline(experiments.FW, results)
+		b.ReportMetric(h.Speedup, "speedup")
+	}
+}
+
+// BenchmarkFig6GE regenerates the GE panel of Fig. 6.
+func BenchmarkFig6GE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiments.Fig6(experiments.GE, benchN)
+		h := experiments.ComputeHeadline(experiments.GE, results)
+		b.ReportMetric(h.Speedup, "speedup")
+	}
+}
+
+// BenchmarkFig8 regenerates the portability comparison and reports the
+// cluster-2/cluster-1 slowdown of the reference configuration.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, results := experiments.Fig8(benchN)
+		var c1, c2 float64
+		for _, r := range results {
+			if r.Block == 1024 && r.Recursive && r.Driver == core.IM {
+				if r.Cluster.Name == "skylake-16" {
+					c1 = r.Time.Seconds()
+				} else {
+					c2 = r.Time.Seconds()
+				}
+			}
+		}
+		if c1 > 0 {
+			b.ReportMetric(c2/c1, "c2/c1")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the weak-scaling experiment and reports the
+// recursive GE series' 64-node/1-node growth (1.0 = perfect scaling).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chart, _ := experiments.Fig9()
+		for _, l := range chart.Lines {
+			if l.Name == "GE CB rec4 b1024 omp8" {
+				b.ReportMetric(l.Points[2].Value/l.Points[0].Value, "growth64")
+			}
+		}
+	}
+}
+
+func reportBest(b *testing.B, results []experiments.Result) {
+	b.Helper()
+	best := results[0]
+	for _, r := range results {
+		if r.Note() == "" && r.Time < best.Time {
+			best = r
+		}
+	}
+	b.ReportMetric(best.Time.Seconds(), "model_s")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationDriver prices IM vs CB per benchmark.
+func BenchmarkAblationDriver(b *testing.B) {
+	for _, bench := range []experiments.Benchmark{experiments.FW, experiments.GE} {
+		for _, driver := range []core.DriverKind{core.IM, core.CB} {
+			b.Run(bench.String()+"/"+driver.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := experiments.Run(experiments.Cell{
+						Bench: bench, N: benchN, Driver: driver, Block: 512,
+					})
+					b.ReportMetric(r.Time.Seconds(), "model_s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationKernelCache sweeps block sizes for both kernel
+// families, exposing the L2 crossover of §V-C.
+func BenchmarkAblationKernelCache(b *testing.B) {
+	for _, block := range []int{256, 512, 1024, 2048} {
+		for _, rec := range []bool{false, true} {
+			name := "iter"
+			cell := experiments.Cell{Bench: experiments.FW, N: benchN, Driver: core.IM, Block: block}
+			if rec {
+				name = "rec4"
+				cell.Recursive = true
+				cell.RShared = 4
+				cell.Threads = 8
+			}
+			b.Run(name+"/"+itoa(block), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r := experiments.Run(cell)
+					b.ReportMetric(r.Time.Seconds(), "model_s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRShared sweeps the kernel fan-out.
+func BenchmarkAblationRShared(b *testing.B) {
+	for _, rs := range []int{2, 4, 8, 16} {
+		b.Run(itoa(rs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.Run(experiments.Cell{
+					Bench: experiments.FW, N: benchN, Driver: core.IM, Block: 1024,
+					Recursive: true, RShared: rs, Threads: 8,
+				})
+				b.ReportMetric(r.Time.Seconds(), "model_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioner compares the default hash partitioner to
+// the grid partitioner (the paper's future work).
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for _, grid := range []bool{false, true} {
+		name := "hash"
+		if grid {
+			name = "grid"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, results := experiments.AblationPartitioner(benchN)
+				idx := 0
+				if grid {
+					idx = 1
+				}
+				b.ReportMetric(results[idx].Time.Seconds(), "model_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitions sweeps the RDD-partition multiplier.
+func BenchmarkAblationPartitions(b *testing.B) {
+	cl := cluster.Skylake16()
+	for _, mult := range []int{1, 2, 4} {
+		b.Run(itoa(mult)+"x", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.Run(experiments.Cell{
+					Bench: experiments.FW, N: benchN, Driver: core.IM, Block: 1024,
+					Recursive: true, RShared: 4, Threads: 8,
+					Partitions: mult * cl.TotalCores(),
+				})
+				b.ReportMetric(r.Time.Seconds(), "model_s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUndirected compares the baseline's undirected
+// upper-triangle optimization against the directed generalization.
+func BenchmarkAblationUndirected(b *testing.B) {
+	for _, und := range []bool{false, true} {
+		name := "directed"
+		if und {
+			name = "undirected"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := rdd.NewContext(rdd.Conf{Cluster: cluster.Skylake16()})
+				stats, err := baseline.SolveSymbolic(ctx, benchN, baseline.Config{BlockSize: 512, Undirected: und})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(stats.Time.Seconds(), "model_s")
+			}
+		})
+	}
+}
+
+// --- Real-mode benchmarks: actual computation on this machine ---
+
+// BenchmarkKernelIterative measures the loop kernels per update.
+func BenchmarkKernelIterative(b *testing.B) {
+	for _, size := range []int{128, 256} {
+		b.Run("D/"+itoa(size), func(b *testing.B) {
+			rule := semiring.NewFloydWarshall()
+			x, u, v, w := randomTiles(size)
+			exec := kernels.NewIterative(rule)
+			b.SetBytes(int64(size) * int64(size) * int64(size) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exec.Apply(semiring.KindD, x, u, v, w)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelRecursive measures the r-way R-DP kernels across
+// fan-outs and worker threads.
+func BenchmarkKernelRecursive(b *testing.B) {
+	for _, rs := range []int{2, 4} {
+		for _, threads := range []int{1, 4} {
+			b.Run("D/r"+itoa(rs)+"/t"+itoa(threads), func(b *testing.B) {
+				rule := semiring.NewFloydWarshall()
+				size := 256
+				x, u, v, w := randomTiles(size)
+				exec := kernels.NewRecursiveExec(rule, rs, 32, threads)
+				b.SetBytes(int64(size) * int64(size) * int64(size) * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					exec.Apply(semiring.KindD, x, u, v, w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineAPSPReal runs the full engine for real on a small APSP
+// problem, per driver.
+func BenchmarkEngineAPSPReal(b *testing.B) {
+	g := RandomGraph(256, 0.05, 1, 10, 3)
+	for _, driver := range []core.DriverKind{core.IM, core.CB} {
+		b.Run(driver.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSession(Local(4))
+				if _, _, err := s.APSP(g, Config{BlockSize: 64, Driver: driver}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGEReal runs a real distributed elimination.
+func BenchmarkEngineGEReal(b *testing.B) {
+	a, rhs := RandomSystem(256, 4)
+	for i := 0; i < b.N; i++ {
+		s := NewSession(Local(4))
+		if _, _, err := s.SolveLinear(a, rhs, Config{BlockSize: 64, Driver: CB}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineReal runs the Schoeneman–Zola baseline for real.
+func BenchmarkBaselineReal(b *testing.B) {
+	g := RandomGraph(256, 0.05, 1, 10, 5)
+	d := g.DistanceMatrix()
+	for i := 0; i < b.N; i++ {
+		ctx := rdd.NewContext(rdd.Conf{Cluster: Local(4)})
+		if _, _, err := baseline.Solve(ctx, d, baseline.Config{BlockSize: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomTiles(size int) (x, u, v, w *matrix.Tile) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func() *matrix.Tile {
+		t := matrix.NewTile(size)
+		for i := range t.Data {
+			t.Data[i] = rng.Float64() * 10
+		}
+		for i := 0; i < size; i++ {
+			t.Set(i, i, 0)
+		}
+		return t
+	}
+	return mk(), mk(), mk(), mk()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,249 @@
+// Command dpspark regenerates the paper's evaluation on the cluster
+// model: Tables I–II, Figs. 6, 8 and 9, the headline iterative-vs-
+// recursive speedups, the design ablations and an autotuning sweep.
+//
+// Usage:
+//
+//	dpspark table1|table2|fig6|fig8|fig9|headline|ablations|sweep|all [flags]
+//
+// Flags:
+//
+//	-n N        problem size (default 32768, the paper's 32K)
+//	-csv DIR    also write each table as CSV into DIR
+//	-v          print per-cell cost breakdowns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpspark/internal/autotune"
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/experiments"
+	"dpspark/internal/report"
+	"dpspark/internal/semiring"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Int("n", experiments.PaperN, "problem size (DP table is n×n)")
+	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
+	htmlOut := fs.String("html", "", "also write a self-contained HTML report to this file")
+	verbose := fs.Bool("v", false, "print per-cell cost breakdowns")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *htmlOut != "" {
+		htmlReport = report.NewHTMLReport(fmt.Sprintf("dpspark evaluation (n=%d)", *n))
+	}
+
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "table1":
+			t, results := experiments.TableI(*n)
+			return emitTable(t, results, *csvDir, "table1.csv", *verbose)
+		case "table2":
+			t, results := experiments.TableII(*n)
+			return emitTable(t, results, *csvDir, "table2.csv", *verbose)
+		case "fig6":
+			for _, bench := range []experiments.Benchmark{experiments.FW, experiments.GE} {
+				chart, results := experiments.Fig6(bench, *n)
+				if err := chart.Render(os.Stdout); err != nil {
+					return err
+				}
+				if htmlReport != nil {
+					htmlReport.AddBarChart(chart)
+				}
+				h := experiments.ComputeHeadline(bench, results)
+				headline := fmt.Sprintf("%s: best iterative %.0fs (%s b=%d), best recursive %.0fs (%s rec%d omp%d b=%d) → %.1f× speedup",
+					bench, h.BestIterS, h.BestIter.Driver, h.BestIter.Block,
+					h.BestRecS, h.BestRec.Driver, h.BestRec.RShared, h.BestRec.Threads, h.BestRec.Block,
+					h.Speedup)
+				fmt.Printf("\n%s\n\n", headline)
+				if htmlReport != nil {
+					htmlReport.AddText(headline)
+				}
+				verboseDump(results, *verbose)
+			}
+			return nil
+		case "fig8":
+			chart, results := experiments.Fig8(*n)
+			if err := chart.Render(os.Stdout); err != nil {
+				return err
+			}
+			if htmlReport != nil {
+				htmlReport.AddBarChart(chart)
+			}
+			verboseDump(results, *verbose)
+			return nil
+		case "fig9":
+			chart, results := experiments.Fig9()
+			if err := chart.Render(os.Stdout); err != nil {
+				return err
+			}
+			if htmlReport != nil {
+				htmlReport.AddLineChart(chart)
+			}
+			verboseDump(results, *verbose)
+			return nil
+		case "headline":
+			for _, bench := range []experiments.Benchmark{experiments.FW, experiments.GE} {
+				_, results := experiments.Fig6(bench, *n)
+				h := experiments.ComputeHeadline(bench, results)
+				fmt.Printf("%s: iterative %.0fs → recursive %.0fs = %.1f× (paper: 2.1× FW, 5× GE)\n",
+					bench, h.BestIterS, h.BestRecS, h.Speedup)
+			}
+			return nil
+		case "ablations":
+			s := experiments.Ablations(*n)
+			for _, t := range s.Tables {
+				if err := t.Render(os.Stdout); err != nil {
+					return err
+				}
+				if htmlReport != nil {
+					htmlReport.AddTable(t)
+				}
+				fmt.Println()
+			}
+			verboseDump(s.Results, *verbose)
+			return nil
+		case "explain":
+			for _, bench := range []experiments.Benchmark{experiments.FW, experiments.GE} {
+				for _, driver := range []core.DriverKind{core.IM, core.CB} {
+					plan, err := core.Explain(*n, core.Config{
+						Rule: bench.Rule(), BlockSize: 1024, Driver: driver,
+					})
+					if err != nil {
+						return err
+					}
+					fmt.Printf("-- %s / %v --\n", bench, driver)
+					if err := plan.Render(os.Stdout); err != nil {
+						return err
+					}
+					fmt.Println()
+				}
+			}
+			return nil
+		case "sweep":
+			cl := cluster.Skylake16()
+			outs, best, err := autotune.Search(cl, semiring.NewFloydWarshall(), *n, autotune.DefaultSpace(cl))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("autotune sweep over %d candidates (FW-APSP, n=%d, %s)\n", len(outs), *n, cl)
+			top := outs
+			if len(top) > 10 {
+				top = top[:10]
+			}
+			for i, o := range top {
+				note := ""
+				if o.Err != nil {
+					note = " [" + o.Err.Error() + "]"
+				} else if o.TimedOut {
+					note = " [timeout]"
+				}
+				fmt.Printf("%2d. %-40s %8.0fs%s\n", i+1, o.Candidate, o.Time.Seconds(), note)
+			}
+			fmt.Printf("best: %s (%.0fs)\n", best.Candidate, best.Time.Seconds())
+			return nil
+		case "all":
+			for _, sub := range []string{"table1", "table2", "fig6", "fig8", "fig9", "ablations"} {
+				fmt.Printf("==== %s ====\n", sub)
+				if err := run(sub); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+			return nil
+		default:
+			usage()
+			return fmt.Errorf("unknown command %q", name)
+		}
+	}
+
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "dpspark:", err)
+		os.Exit(1)
+	}
+	if htmlReport != nil {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpspark:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := htmlReport.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dpspark:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+}
+
+// htmlReport, when non-nil, collects everything rendered for -html.
+var htmlReport *report.HTMLReport
+
+func emitTable(t *report.Table, results []experiments.Result, csvDir, csvName string, verbose bool) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if htmlReport != nil {
+		htmlReport.AddTable(t)
+	}
+	verboseDump(results, verbose)
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, csvName))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func verboseDump(results []experiments.Result, verbose bool) {
+	if !verbose {
+		return
+	}
+	for _, r := range results {
+		kernel := "iter"
+		if r.Recursive {
+			kernel = fmt.Sprintf("rec%d/omp%d", r.RShared, r.Threads)
+		}
+		fmt.Printf("  %-8s %-3v b=%-5d %-12s %8.0fs  %s\n",
+			r.Bench, r.Driver, r.Block, kernel, r.Time.Seconds(), r.BreakdownString())
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage: dpspark <command> [flags]
+
+commands:
+  table1      Table I   — GE, CB, 4-way recursive: executor-cores × OMP grid
+  table2      Table II  — FW-APSP, IM, 16-way recursive: same grid
+  fig6        Fig. 6    — implementation × kernel × block-size sweeps
+  fig8        Fig. 8    — FW-APSP portability across both clusters
+  fig9        Fig. 9    — weak scaling at fixed work per node
+  headline    best iterative vs best recursive per benchmark
+  ablations   partitioner / partitions / r_shared / baseline comparisons
+  explain     per-iteration plan: kernel counts, copies, moved bytes
+  sweep       autotune search over the full tuning space
+  all         tables, figures and ablations
+
+flags: -n <size> (default 32768), -csv <dir>, -v`))
+}

@@ -1,0 +1,49 @@
+// Linsolve: the paper's linear-algebra benchmark as an application —
+// solve a dense diagonally dominant system with distributed Gaussian
+// elimination without pivoting, extract the LU factorization, and verify
+// both the residual and the factors.
+//
+//	go run ./examples/linsolve
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dpspark"
+	"dpspark/internal/ge"
+)
+
+func main() {
+	const m = 600
+	a, b := dpspark.RandomSystem(m, 5)
+	fmt.Printf("system: %d equations, %d unknowns (diagonally dominant)\n", m, m)
+
+	session := dpspark.NewSession(dpspark.Local(4))
+	cfg := dpspark.Config{
+		BlockSize:       150,
+		Driver:          dpspark.CB, // the paper's winner for GE
+		RecursiveKernel: true,
+		RShared:         4,
+		Threads:         4,
+	}
+	x, stats, err := session.SolveLinear(a, b, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved in %v wall (modelled cluster time %v)\n", stats.Wall.Round(1e6), stats.Time)
+	fmt.Printf("residual max|A·x−b| = %.3g\n", dpspark.Residual(a, x, b))
+
+	// GE also yields the LU decomposition (paper §IV): eliminate the raw
+	// matrix and extract the factors.
+	elim, _, err := dpspark.NewSession(dpspark.Local(4)).Eliminate(a.Clone(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, u := ge.LU(elim)
+	if diff := ge.MatMul(l, u).MaxAbsDiff(a); diff > 1e-6 {
+		log.Fatalf("L·U − A = %v", diff)
+	}
+	fmt.Printf("LU factorization verified: max|L·U − A| ≤ 1e-6 ✓\n")
+	fmt.Printf("U[0,0]=%.3f (first pivot), L unit lower triangular\n", u.At(0, 0))
+}

@@ -1,0 +1,3 @@
+module dpspark
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package autotune searches the paper's tuning space — block size r,
+// kernel type, r_shared, OMP_NUM_THREADS, executor-cores and driver — by
+// pricing candidate configurations on the cluster model (the paper §IV-C:
+// "the decomposition parameter can be tuned ... using estimates from
+// hardware/software parameters based on analytical models"). Each
+// candidate is a full symbolic run of the actual drivers, so the search
+// sees every modelled effect: cache cliffs, oversubscription, shuffle
+// versus broadcast traffic, timeouts and staging-disk failures.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
+)
+
+// Space enumerates candidate settings. Zero-value fields fall back to
+// the paper's sweep (§V-C).
+type Space struct {
+	// Drivers to try (default: IM and CB).
+	Drivers []core.DriverKind
+	// BlockSizes to try (default: 256, 512, 1024, 2048, 4096).
+	BlockSizes []int
+	// RShared fan-outs for recursive kernels (default: 2, 4, 8, 16).
+	RShared []int
+	// Threads values for recursive kernels (default: 2, 4, 8, 16, 32).
+	Threads []int
+	// ExecutorCores settings (default: all physical cores).
+	ExecutorCores []int
+	// IncludeIterative adds the iterative-kernel candidates (default on
+	// via DefaultSpace).
+	IncludeIterative bool
+}
+
+// DefaultSpace returns the paper's sweep.
+func DefaultSpace(c *cluster.Cluster) Space {
+	return Space{
+		Drivers:          []core.DriverKind{core.IM, core.CB},
+		BlockSizes:       []int{256, 512, 1024, 2048, 4096},
+		RShared:          []int{2, 4, 8, 16},
+		Threads:          []int{2, 4, 8, 16, 32},
+		ExecutorCores:    []int{c.Node.Cores},
+		IncludeIterative: true,
+	}
+}
+
+// Candidate is one point in the tuning space.
+type Candidate struct {
+	Driver        core.DriverKind
+	BlockSize     int
+	Recursive     bool
+	RShared       int
+	Threads       int
+	ExecutorCores int
+}
+
+// String renders the candidate compactly.
+func (c Candidate) String() string {
+	kernel := "iter"
+	if c.Recursive {
+		kernel = fmt.Sprintf("rec%d/omp%d", c.RShared, c.Threads)
+	}
+	return fmt.Sprintf("%s b=%d %s cores=%d", c.Driver, c.BlockSize, kernel, c.ExecutorCores)
+}
+
+// Outcome is a priced candidate.
+type Outcome struct {
+	Candidate
+	// Time is the modelled job time; meaningless when Err != nil.
+	Time simtime.Duration
+	// TimedOut marks runs beyond the 8-hour experiment bound.
+	TimedOut bool
+	// Err reports modelled failures (staging disk full, ...).
+	Err error
+}
+
+// ok reports whether the outcome completed within bounds.
+func (o Outcome) ok() bool { return o.Err == nil && !o.TimedOut }
+
+// Search prices every candidate for an n×n problem under the rule on the
+// cluster and returns all outcomes (fastest first, failures last) plus
+// the best. It errors only if no candidate completes.
+func Search(cl *cluster.Cluster, rule semiring.Rule, n int, space Space) ([]Outcome, Outcome, error) {
+	cands, err := enumerate(cl, space, n)
+	if err != nil {
+		return nil, Outcome{}, fmt.Errorf("autotune: %w (n=%d)", err, n)
+	}
+
+	outcomes := make([]Outcome, 0, len(cands))
+	for _, cand := range cands {
+		outcomes = append(outcomes, Price(cl, rule, n, cand))
+	}
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		oi, oj := outcomes[i], outcomes[j]
+		if oi.ok() != oj.ok() {
+			return oi.ok()
+		}
+		return oi.Time < oj.Time
+	})
+	if !outcomes[0].ok() {
+		return outcomes, outcomes[0], fmt.Errorf("autotune: no candidate completed within bounds")
+	}
+	return outcomes, outcomes[0], nil
+}
+
+// Price runs one candidate symbolically and returns its outcome.
+func Price(cl *cluster.Cluster, rule semiring.Rule, n int, cand Candidate) Outcome {
+	ctx := rdd.NewContext(rdd.Conf{Cluster: cl, ExecutorCores: cand.ExecutorCores})
+	cfg := core.Config{
+		Rule:            rule,
+		BlockSize:       cand.BlockSize,
+		Driver:          cand.Driver,
+		RecursiveKernel: cand.Recursive,
+		RShared:         cand.RShared,
+		Threads:         cand.Threads,
+	}
+	bl := matrix.NewSymbolicBlocked(n, cand.BlockSize)
+	_, stats, err := core.Run(ctx, bl, cfg)
+	out := Outcome{Candidate: cand, Err: err}
+	if stats != nil {
+		out.Time = stats.Time
+		out.TimedOut = stats.TimedOut
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/semiring"
+)
+
+func smallSpace() Space {
+	return Space{
+		Drivers:          []core.DriverKind{core.IM, core.CB},
+		BlockSizes:       []int{256, 512},
+		RShared:          []int{4},
+		Threads:          []int{8},
+		IncludeIterative: true,
+	}
+}
+
+func TestSearchFindsBest(t *testing.T) {
+	outs, best, err := Search(cluster.Skylake16(), semiring.NewFloydWarshall(), 2048, smallSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 drivers × 2 blocks × (1 iter + 1 recursive) = 8 candidates.
+	if len(outs) != 8 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if !best.ok() {
+		t.Fatalf("best failed: %+v", best)
+	}
+	for _, o := range outs {
+		if o.ok() && o.Time < best.Time {
+			t.Fatalf("best is not minimal: %v < %v", o.Time, best.Time)
+		}
+	}
+}
+
+func TestSearchSkipsOversizedBlocks(t *testing.T) {
+	space := smallSpace()
+	space.BlockSizes = []int{4096} // larger than the problem
+	if _, _, err := Search(cluster.Skylake16(), semiring.NewGaussian(), 1024, space); err == nil {
+		t.Fatal("expected empty-space error")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	c := Candidate{Driver: core.CB, BlockSize: 1024, Recursive: true, RShared: 4, Threads: 8, ExecutorCores: 32}
+	s := c.String()
+	for _, want := range []string{"CB", "1024", "rec4", "omp8", "cores=32"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("candidate string %q missing %q", s, want)
+		}
+	}
+	it := Candidate{Driver: core.IM, BlockSize: 512}
+	if !strings.Contains(it.String(), "iter") {
+		t.Fatalf("iterative string = %q", it.String())
+	}
+}
+
+func TestPriceDefaults(t *testing.T) {
+	o := Price(cluster.Haswell16(), semiring.NewGaussian(), 1024,
+		Candidate{Driver: core.CB, BlockSize: 256, ExecutorCores: 20})
+	if o.Err != nil || o.Time <= 0 {
+		t.Fatalf("price: %+v", o)
+	}
+}
+
+func TestDefaultSpace(t *testing.T) {
+	s := DefaultSpace(cluster.Skylake16())
+	if len(s.BlockSizes) != 5 || len(s.RShared) != 4 || len(s.Threads) != 5 {
+		t.Fatalf("default space = %+v", s)
+	}
+	if !s.IncludeIterative || s.ExecutorCores[0] != 32 {
+		t.Fatal("default space settings")
+	}
+}

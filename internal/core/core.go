@@ -1,0 +1,274 @@
+// Package core is the paper's primary contribution: the execution of
+// GEP-form dynamic programs (Fig. 1) on a Spark-like engine via parametric
+// r-way recursive divide-&-conquer algorithms (Fig. 4).
+//
+// The DP table is decomposed into an r×r grid of b×b tiles held in a pair
+// RDD keyed by tile coordinate (§IV-C). Each top-level iteration k runs
+// three kernel stages with the dependency structure of Fig. 7:
+//
+//	A(k,k)  ──────►  B(k,j) ∀j   ─┐
+//	   │                          ├──►  D(i,j) ∀i,j
+//	   └──────────►  C(i,k) ∀i   ─┘
+//
+// (A feeds B, C and D; B feeds the D blocks below it in its column; C
+// feeds the D blocks beside it in its row.) Which i, j participate is the
+// update rule's Restricted range: every non-pivot index for semiring GEP
+// (Floyd-Warshall), only the trailing submatrix for Gaussian elimination.
+//
+// Two drivers move tiles between stages:
+//
+//   - IM (In-Memory, Listing 1): kernels emit copies of their freshly
+//     updated tile addressed to every consumer; combineByKey assembles
+//     each target tile's operand set. All movement is RDD shuffles staged
+//     on node-local disks.
+//   - CB (Collect-Broadcast, Listing 2): updated pivot/panel tiles are
+//     collected to the driver and redistributed through shared persistent
+//     storage; only the end-of-iteration partitionBy shuffles data.
+//
+// Kernels inside executors are either iterative loops or parallel
+// recursive r_shared-way R-DP (internal/kernels) — the paper's OpenMP
+// offload, realized as a bounded goroutine pool.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dpspark/internal/costmodel"
+	"dpspark/internal/kernels"
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
+)
+
+// Block is one DP-table tile record: the pair RDD element of §IV-C.
+type Block = rdd.Pair[matrix.Coord, *matrix.Tile]
+
+// DriverKind selects the tile-movement strategy.
+type DriverKind int
+
+// Driver kinds.
+const (
+	// IM is the In-Memory driver (Listing 1).
+	IM DriverKind = iota
+	// CB is the Collect-Broadcast driver (Listing 2).
+	CB
+)
+
+// String names the driver.
+func (d DriverKind) String() string {
+	if d == CB {
+		return "CB"
+	}
+	return "IM"
+}
+
+// Config carries the paper's tunables for one run.
+type Config struct {
+	// Rule is the GEP update rule (Floyd-Warshall, Gaussian, ...).
+	Rule semiring.Rule
+	// BlockSize is the tile dimension b; the grid dimension r follows
+	// from the problem size (with virtual padding).
+	BlockSize int
+	// Driver selects IM or CB.
+	Driver DriverKind
+	// RecursiveKernel selects r_shared-way R-DP kernels; false runs
+	// iterative loop kernels.
+	RecursiveKernel bool
+	// RShared is the recursive kernel fan-out (≥2).
+	RShared int
+	// Base is the recursive base-case size (default 64).
+	Base int
+	// Threads is OMP_NUM_THREADS for recursive kernels.
+	Threads int
+	// Partitions is the RDD partition count (default: 2× total cores,
+	// the paper's guideline).
+	Partitions int
+	// Partitioner overrides the default hash partitioner (the paper's
+	// future-work grid partitioner lives in internal/rdd).
+	Partitioner rdd.Partitioner
+}
+
+// Stats reports a run's virtual cost and outcome.
+type Stats struct {
+	// Time is the modelled job time on the configured cluster.
+	Time simtime.Duration
+	// Wall is the real elapsed time of this process (interesting for
+	// real-mode runs; incidental for symbolic runs).
+	Wall time.Duration
+	// Iterations is the grid dimension r the run used.
+	Iterations int
+	// TimedOut reports whether Time exceeded the paper's 8-hour bound.
+	TimedOut bool
+}
+
+// normalize fills Config defaults and validates.
+func (cfg *Config) normalize(ctx *rdd.Context) error {
+	if cfg.Rule == nil {
+		return fmt.Errorf("core: Config.Rule is required")
+	}
+	if cfg.BlockSize < 1 {
+		return fmt.Errorf("core: BlockSize must be ≥1, got %d", cfg.BlockSize)
+	}
+	if cfg.RecursiveKernel {
+		if cfg.RShared < 2 {
+			return fmt.Errorf("core: RShared must be ≥2 for recursive kernels, got %d", cfg.RShared)
+		}
+		if cfg.Base < 1 {
+			cfg.Base = 64
+		}
+		if cfg.Threads < 1 {
+			cfg.Threads = 1
+		}
+	}
+	if cfg.Partitions < 1 {
+		cfg.Partitions = ctx.Cluster().DefaultPartitions()
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = rdd.NewHashPartitioner(cfg.Partitions)
+	}
+	return nil
+}
+
+// KernelName describes the kernel configuration for reports.
+func (cfg Config) KernelName() string {
+	if cfg.RecursiveKernel {
+		return fmt.Sprintf("rec%d-way(omp=%d)", cfg.RShared, cfg.Threads)
+	}
+	return "iterative"
+}
+
+// Run executes the GEP computation over the blocked DP table on the
+// engine and returns the resulting table (nil for symbolic inputs), the
+// run stats and the first failure, if any. The input is not mutated.
+func Run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *Stats, error) {
+	if bl.B != cfg.BlockSize {
+		return nil, nil, fmt.Errorf("core: blocked matrix tile size %d != Config.BlockSize %d", bl.B, cfg.BlockSize)
+	}
+	if err := cfg.normalize(ctx); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	clock0 := ctx.Clock()
+
+	dp := rdd.ParallelizePairs(ctx, BlocksFromMatrix(bl), cfg.Partitioner)
+	run := &runner{ctx: ctx, cfg: cfg, r: bl.R}
+
+	var err error
+	switch cfg.Driver {
+	case CB:
+		dp, err = run.collectBroadcast(dp)
+	default:
+		dp, err = run.inMemory(dp)
+	}
+	if err != nil {
+		return nil, statsFrom(ctx, clock0, start, bl.R), err
+	}
+
+	var out *matrix.Blocked
+	if bl.Symbolic() {
+		// Materialize the final generation without hauling 8·n² bytes to
+		// the driver (count is the terminal action).
+		if _, err = dp.Count(); err != nil {
+			return nil, statsFrom(ctx, clock0, start, bl.R), err
+		}
+	} else {
+		blocks, cerr := dp.Collect()
+		if cerr != nil {
+			return nil, statsFrom(ctx, clock0, start, bl.R), cerr
+		}
+		out, err = MatrixFromBlocks(bl.N, bl.B, bl.R, blocks)
+		if err != nil {
+			return nil, statsFrom(ctx, clock0, start, bl.R), err
+		}
+	}
+	return out, statsFrom(ctx, clock0, start, bl.R), nil
+}
+
+func statsFrom(ctx *rdd.Context, clock0 simtime.Duration, start time.Time, r int) *Stats {
+	elapsed := ctx.Clock() - clock0
+	return &Stats{
+		Time:       elapsed,
+		Wall:       time.Since(start),
+		Iterations: r,
+		TimedOut:   elapsed > 8*simtime.Hour,
+	}
+}
+
+// BlocksFromMatrix flattens a blocked matrix into pair records.
+func BlocksFromMatrix(bl *matrix.Blocked) []Block {
+	out := make([]Block, 0, bl.R*bl.R)
+	for _, c := range bl.Coords() {
+		out = append(out, rdd.KV(c, bl.Tile(c)))
+	}
+	return out
+}
+
+// MatrixFromBlocks reassembles a blocked matrix from pair records,
+// verifying that exactly the full grid is present.
+func MatrixFromBlocks(n, b, r int, blocks []Block) (*matrix.Blocked, error) {
+	out := matrix.NewSymbolicBlocked(n, b)
+	if out.R != r {
+		return nil, fmt.Errorf("core: grid %d does not match expected %d", out.R, r)
+	}
+	seen := make(map[matrix.Coord]bool, len(blocks))
+	for _, blk := range blocks {
+		if seen[blk.Key] {
+			return nil, fmt.Errorf("core: duplicate block %v in result", blk.Key)
+		}
+		seen[blk.Key] = true
+		out.SetTile(blk.Key, blk.Value)
+	}
+	if len(seen) != r*r {
+		return nil, fmt.Errorf("core: result has %d blocks, want %d", len(seen), r*r)
+	}
+	return out, nil
+}
+
+// runner holds one Run's shared state.
+type runner struct {
+	ctx *rdd.Context
+	cfg Config
+	r   int
+}
+
+// kernelConfig builds the cost-model description of the configured kernel.
+func (run *runner) kernelConfig() costmodel.KernelConfig {
+	return costmodel.KernelConfig{
+		Recursive: run.cfg.RecursiveKernel,
+		RShared:   run.cfg.RShared,
+		Base:      run.cfg.Base,
+		Threads:   run.cfg.Threads,
+		CoTasks:   run.ctx.ExecutorCores(),
+	}
+}
+
+// exec builds the kernel implementation for real tiles.
+func (run *runner) exec() kernels.Exec {
+	if run.cfg.RecursiveKernel {
+		return kernels.NewRecursiveExec(run.cfg.Rule, run.cfg.RShared, run.cfg.Base, run.cfg.Threads)
+	}
+	return kernels.NewIterative(run.cfg.Rule)
+}
+
+// applyKernel prices and (for real tiles) executes one kernel call,
+// returning the freshly updated tile. The input tile is cloned first:
+// RDD records are immutable, and lineage recomputation (which the CB
+// driver performs, exactly like Spark without .cache()) must be able to
+// re-run the kernel on the original value. The charged thread width is
+// the kernel's occupancy — OMP threads beyond its exploitable
+// parallelism sleep and do not contend for the node's cores.
+func applyKernel(tc *rdd.TaskContext, exec kernels.Exec, kc costmodel.KernelConfig,
+	kind semiring.Kind, x, u, v, w *matrix.Tile) *matrix.Tile {
+	out := x.Clone()
+	model := tc.Ctx().Model()
+	cost := model.KernelTime(exec.Rule(), kind, x.B, kc)
+	occ := model.Occupancy(kind, kc)
+	tc.ChargeCompute(cost, occ)
+	tc.ChargeIdleThreads(kc.EffectiveThreads() - occ)
+	if !out.Symbolic() {
+		exec.Apply(kind, out, u, v, w)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Plan describes the execution structure a configuration implies, without
+// running it: per-iteration kernel counts, the IM driver's replication
+// volume (the paper's copy-count analysis, §IV-C) and the data each
+// iteration moves. cmd/dpspark's `explain` prints it.
+type Plan struct {
+	// N and BlockSize echo the problem; R is the grid dimension.
+	N, BlockSize, R int
+	// Driver echoes the tile-movement strategy.
+	Driver DriverKind
+	// Iterations holds per-iteration structure.
+	Iterations []IterPlan
+	// KernelCalls totals kernel invocations by kind over the run.
+	KernelCalls map[semiring.Kind]int64
+	// CopyTiles totals the IM driver's replicated tiles (0 for CB).
+	CopyTiles int64
+	// MovedBytes totals the bytes moved between stages: shuffled tiles
+	// for IM, collected+broadcast+shuffled tiles for CB.
+	MovedBytes int64
+}
+
+// IterPlan is one grid iteration's structure.
+type IterPlan struct {
+	// K is the iteration index.
+	K int
+	// A, B, C, D count the kernel invocations.
+	A, B, C, D int
+	// Copies counts replicated tiles (IM): pivot copies to the panels
+	// (and to the interior when the rule reads the pivot) plus row and
+	// column copies to the interior.
+	Copies int
+	// MovedTiles counts tiles crossing a stage boundary this iteration.
+	MovedTiles int
+}
+
+// Explain analyses a configuration for an n×n problem.
+func Explain(n int, cfg Config) (*Plan, error) {
+	if cfg.Rule == nil {
+		return nil, fmt.Errorf("core: Config.Rule is required")
+	}
+	if cfg.BlockSize < 1 {
+		return nil, fmt.Errorf("core: BlockSize must be ≥1")
+	}
+	r := matrix.Grid(n, cfg.BlockSize)
+	plan := &Plan{
+		N: n, BlockSize: cfg.BlockSize, R: r,
+		Driver:      cfg.Driver,
+		KernelCalls: make(map[semiring.Kind]int64),
+	}
+	tileBytes := int64(cfg.BlockSize) * int64(cfg.BlockSize) * 8
+	usesPivot := cfg.Rule.UsesPivot()
+
+	for k := 0; k < r; k++ {
+		rest := len(cfg.Rule.Restricted(k, r))
+		it := IterPlan{K: k, A: 1, B: rest, C: rest, D: rest * rest}
+		switch cfg.Driver {
+		case CB:
+			// Collect a + panels; broadcast reads are per executor, not
+			// per tile; the closing partitionBy moves every live block.
+			it.MovedTiles = 1 + 2*rest + (1 + 2*rest + rest*rest)
+		default: // IM
+			it.Copies = 2*rest + 2*rest*rest // pivot→panels + row/col→interior
+			pivotToD := 0
+			if usesPivot {
+				pivotToD = rest * rest // pivot→interior (GE's division)
+				it.Copies += pivotToD
+			}
+			// Stage outputs shuffled: the a-stage ships the updated pivot
+			// plus its copies; the panel stage forwards the pivot, ships
+			// the 2·rest updated panels, their row/column copies and the
+			// interior-addressed pivot copies; the interior stage ships
+			// every updated block.
+			aStage := 1 + 2*rest + rest*rest*boolInt(usesPivot)
+			panelStage := 1 + 2*rest + 2*rest*rest + pivotToD
+			interiorStage := 1 + 2*rest + rest*rest
+			it.MovedTiles = aStage + panelStage + interiorStage
+		}
+		plan.Iterations = append(plan.Iterations, it)
+		plan.KernelCalls[semiring.KindA]++
+		plan.KernelCalls[semiring.KindB] += int64(it.B)
+		plan.KernelCalls[semiring.KindC] += int64(it.C)
+		plan.KernelCalls[semiring.KindD] += int64(it.D)
+		plan.CopyTiles += int64(it.Copies)
+		plan.MovedBytes += int64(it.MovedTiles) * tileBytes
+	}
+	return plan, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Render writes a human-readable summary.
+func (p *Plan) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "plan: n=%d block=%d grid=%d×%d driver=%v\n",
+		p.N, p.BlockSize, p.R, p.R, p.Driver); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "kernels: A=%d B=%d C=%d D=%d\n",
+		p.KernelCalls[semiring.KindA], p.KernelCalls[semiring.KindB],
+		p.KernelCalls[semiring.KindC], p.KernelCalls[semiring.KindD]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "replicated tiles (IM copies): %d\n", p.CopyTiles); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "moved between stages: %.2f GiB (%.2f× the table)\n",
+		float64(p.MovedBytes)/(1<<30),
+		float64(p.MovedBytes)/(float64(p.N)*float64(p.N)*8)); err != nil {
+		return err
+	}
+	show := len(p.Iterations)
+	if show > 3 {
+		show = 3
+	}
+	for _, it := range p.Iterations[:show] {
+		if _, err := fmt.Fprintf(w, "  iter %d: A=%d B=%d C=%d D=%d copies=%d moved=%d tiles\n",
+			it.K, it.A, it.B, it.C, it.D, it.Copies, it.MovedTiles); err != nil {
+			return err
+		}
+	}
+	if len(p.Iterations) > show {
+		if _, err := fmt.Fprintf(w, "  ... %d more iterations\n", len(p.Iterations)-show); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+func TestExplainKernelCounts(t *testing.T) {
+	// FW at r=4: per iteration 1 A, 3 B, 3 C, 9 D → totals ×4.
+	plan, err := Explain(4096, Config{Rule: semiring.NewFloydWarshall(), BlockSize: 1024, Driver: IM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.R != 4 {
+		t.Fatalf("R = %d", plan.R)
+	}
+	if plan.KernelCalls[semiring.KindA] != 4 ||
+		plan.KernelCalls[semiring.KindB] != 12 ||
+		plan.KernelCalls[semiring.KindD] != 36 {
+		t.Fatalf("kernel calls = %v", plan.KernelCalls)
+	}
+	// GE at r=4: Σ_k rest(k)² D kernels = 9+4+1+0 = 14.
+	ge, err := Explain(4096, Config{Rule: semiring.NewGaussian(), BlockSize: 1024, Driver: CB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.KernelCalls[semiring.KindD] != 14 || ge.KernelCalls[semiring.KindB] != 6 {
+		t.Fatalf("GE kernel calls = %v", ge.KernelCalls)
+	}
+}
+
+func TestExplainCopyCountsMatchPaper(t *testing.T) {
+	// §IV-C: in iteration k of GE, function A makes 2(r−k−1) + (r−k−1)²
+	// copies of the pivot tile.
+	plan, err := Explain(8192, Config{Rule: semiring.NewGaussian(), BlockSize: 1024, Driver: IM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.R
+	for _, it := range plan.Iterations {
+		rest := r - it.K - 1
+		pivotCopies := 2*rest + rest*rest
+		rowColCopies := 2 * rest * rest
+		if it.Copies != pivotCopies+rowColCopies {
+			t.Fatalf("iter %d: copies = %d, want %d pivot + %d row/col",
+				it.K, it.Copies, pivotCopies, rowColCopies)
+		}
+	}
+	// CB replicates nothing.
+	cb, _ := Explain(8192, Config{Rule: semiring.NewGaussian(), BlockSize: 1024, Driver: CB})
+	if cb.CopyTiles != 0 {
+		t.Fatalf("CB copies = %d", cb.CopyTiles)
+	}
+	// FW's IM copies exclude the pivot→interior replication.
+	fw, _ := Explain(8192, Config{Rule: semiring.NewFloydWarshall(), BlockSize: 1024, Driver: IM})
+	rest := fw.R - 1
+	if fw.Iterations[0].Copies != 2*rest+2*rest*rest {
+		t.Fatalf("FW iter-0 copies = %d", fw.Iterations[0].Copies)
+	}
+}
+
+// TestExplainMatchesEngineBytes cross-checks the analytic plan against
+// the engine: the IM driver's actual shuffled bytes equal the plan's
+// moved bytes.
+func TestExplainMatchesEngineBytes(t *testing.T) {
+	cfg := Config{Rule: semiring.NewGaussian(), BlockSize: 512, Driver: IM}
+	n := 2048
+	plan, err := Explain(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := clusterCtx()
+	bl := matrix.NewSymbolicBlocked(n, cfg.BlockSize)
+	if _, _, err := Run(ctx, bl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var spilled int64
+	for _, ev := range ctx.Events() {
+		spilled += ev.SpillBytes
+	}
+	// The engine's records carry key/tag framing (≈17 B per 2 MiB tile),
+	// so the volumes agree to well under a percent.
+	ratio := float64(spilled) / float64(plan.MovedBytes)
+	if ratio < 0.999 || ratio > 1.001 {
+		t.Fatalf("engine shuffled %d bytes, plan says %d (ratio %.4f)",
+			spilled, plan.MovedBytes, ratio)
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	plan, err := Explain(32768, Config{Rule: semiring.NewGaussian(), BlockSize: 1024, Driver: IM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := plan.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"grid=32×32", "kernels:", "replicated", "more iterations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	if _, err := Explain(16, Config{BlockSize: 4}); err == nil {
+		t.Fatal("missing rule must fail")
+	}
+	if _, err := Explain(16, Config{Rule: semiring.NewGaussian()}); err == nil {
+		t.Fatal("missing block size must fail")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+	"dpspark/internal/sim"
+)
+
+// Failure-injection tests: the paper reports two failure modes for large
+// runs — local staging disks filling with shuffle data (IM, §IV-C) and
+// the 8-hour experiment timeout (missing bars in Figs. 6 and 8). The
+// engine must surface both.
+
+// TestIMFailsWhenStagingDiskFull shrinks the SSDs until the IM driver's
+// shuffle staging overflows; the run must fail with ErrDiskFull and the
+// CB driver (which barely stages) must still pass.
+func TestIMFailsWhenStagingDiskFull(t *testing.T) {
+	cl := cluster.Skylake16()
+	// Between the two drivers' staging footprints: IM stages several
+	// table volumes across its live shuffle generations, CB roughly one.
+	cl.Node.Disk.Capacity = 128 << 20
+
+	run := func(driver DriverKind) error {
+		ctx := rdd.NewContext(rdd.Conf{Cluster: cl})
+		bl := matrix.NewSymbolicBlocked(4096, 512)
+		_, _, err := Run(ctx, bl, Config{
+			Rule:      semiring.NewGaussian(),
+			BlockSize: 512,
+			Driver:    driver,
+		})
+		return err
+	}
+
+	err := run(IM)
+	if err == nil {
+		t.Fatal("IM with tiny staging disks must fail")
+	}
+	var diskErr sim.ErrDiskFull
+	if !errors.As(err, &diskErr) {
+		t.Fatalf("expected ErrDiskFull, got %v", err)
+	}
+	if diskErr.Cap != 128<<20 {
+		t.Fatalf("error carries wrong capacity: %+v", diskErr)
+	}
+
+	if err := run(CB); err != nil {
+		t.Fatalf("CB must survive small staging disks (it broadcasts instead): %v", err)
+	}
+}
+
+// TestTimeoutMarking: big iterative huge-block runs on the weaker cluster
+// exceed the 8-hour bound and must be flagged (the missing bars of
+// Fig. 8; in this calibration the paper's 32K cells land at 3–4.6h, so
+// the test uses 48K — see EXPERIMENTS.md "Known residuals").
+func TestTimeoutMarking(t *testing.T) {
+	ctx := rdd.NewContext(rdd.Conf{Cluster: cluster.Haswell16()})
+	bl := matrix.NewSymbolicBlocked(49152, 4096)
+	_, stats, err := Run(ctx, bl, Config{
+		Rule:      semiring.NewGaussian(),
+		BlockSize: 4096,
+		Driver:    IM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.TimedOut {
+		t.Fatalf("48K iterative/4096 on the Haswell cluster must exceed 8h, got %v", stats.Time)
+	}
+}
+
+// TestExecutorMemoryFailureSurfaced: a cached working set beyond the
+// executor budget must fail the job.
+func TestExecutorMemoryFailureSurfaced(t *testing.T) {
+	cl := cluster.Local(2)
+	cl.ExecutorMemBytes = 8 << 10 // 8 KiB: below the 4×4-tile table's 32 KiB
+	ctx := rdd.NewContext(rdd.Conf{Cluster: cl})
+
+	rng := rand.New(rand.NewSource(1))
+	in := randomInput(semiring.NewFloydWarshall(), 64, rng)
+	bl := matrix.Block(in, 16, semiring.NewFloydWarshall().Pad(), 0)
+	blocks := BlocksFromMatrix(bl)
+	dp := rdd.ParallelizePairs(ctx, blocks, rdd.NewHashPartitioner(4)).Cache()
+	if _, err := dp.Collect(); err == nil {
+		t.Fatal("expected executor-memory failure")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// The FilterX predicates of Listings 1–2: they select the blocks each
+// kernel stage of iteration k updates. Their shape comes from the loop
+// bounds of the top-level function A in Fig. 4 — the Restricted range of
+// the update rule (all non-pivot indices for semiring GEP, the trailing
+// submatrix for GE).
+
+// restrictedSet returns membership of the rule's Restricted(k, r) range.
+func restrictedSet(rule semiring.Rule, k, r int) map[int]bool {
+	idx := rule.Restricted(k, r)
+	set := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		set[i] = true
+	}
+	return set
+}
+
+// filters bundles the four predicates for iteration k.
+type filters struct {
+	k    int
+	rest map[int]bool
+}
+
+// newFilters builds iteration k's predicates for an r×r grid.
+func newFilters(rule semiring.Rule, k, r int) filters {
+	return filters{k: k, rest: restrictedSet(rule, k, r)}
+}
+
+// A selects the pivot block (k,k).
+func (f filters) A(c matrix.Coord) bool { return c.I == f.k && c.J == f.k }
+
+// B selects the row-panel blocks (k,j) for participating j.
+func (f filters) B(c matrix.Coord) bool { return c.I == f.k && f.rest[c.J] }
+
+// C selects the column-panel blocks (i,k) for participating i.
+func (f filters) C(c matrix.Coord) bool { return c.J == f.k && f.rest[c.I] }
+
+// D selects the interior blocks (i,j) for participating i and j.
+func (f filters) D(c matrix.Coord) bool { return f.rest[c.I] && f.rest[c.J] }
+
+// Touched reports whether iteration k updates the block at all.
+func (f filters) Touched(c matrix.Coord) bool {
+	return f.A(c) || f.B(c) || f.C(c) || f.D(c)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
+)
+
+// inMemory is the IM driver — Listing 1. Per iteration k it runs three
+// stages. Every kernel emits, besides its updated tile (RoleDone), copies
+// of that tile addressed to the consumers of the next stage; partitionBy
+// moves the copies (a shuffle: flatMap discards the partitioner) and a
+// co-partitioned combineByKey assembles each target's operand set without
+// further movement.
+func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
+	ctx := run.ctx
+	part := run.cfg.Partitioner
+	exec := run.exec()
+	kc := run.kernelConfig()
+	rule := run.cfg.Rule
+
+	for k := 0; k < run.r; k++ {
+		k := k
+		f := newFilters(rule, k, run.r)
+		rest := rule.Restricted(k, run.r)
+
+		// Stage 1: A updates the pivot tile and replicates it to its
+		// consumers: the B and C panels always, and the D blocks only
+		// when the update rule reads the pivot value (GE's division —
+		// the paper's (r−k−1)² extra copies; FW's min-plus update never
+		// reads c[k,k], the "lighter dependencies" of Fig. 7).
+		aIn := dp.Filter(func(b Block) bool { return f.A(b.Key) })
+		pivotToD := rule.UsesPivot()
+		aBlocks := rdd.PartitionBy(
+			rdd.FlatMap(aIn, func(tc *rdd.TaskContext, b Block) []rdd.Pair[matrix.Coord, Msg] {
+				updated := applyKernel(tc, exec, kc, semiring.KindA, b.Value, nil, nil, nil)
+				out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+2*len(rest)+len(rest)*len(rest))
+				out = append(out, rdd.KV(b.Key, Msg{RoleDone, updated}))
+				for _, j := range rest {
+					out = append(out, rdd.KV(matrix.Coord{I: k, J: j}, Msg{RolePivot, updated}))
+				}
+				for _, i := range rest {
+					out = append(out, rdd.KV(matrix.Coord{I: i, J: k}, Msg{RolePivot, updated}))
+				}
+				if pivotToD {
+					for _, i := range rest {
+						for _, j := range rest {
+							out = append(out, rdd.KV(matrix.Coord{I: i, J: j}, Msg{RolePivot, updated}))
+						}
+					}
+				}
+				return out
+			}),
+			part)
+
+		// Stage 2: B and C update the panels using the pivot copies and
+		// replicate their outputs to the D blocks of their column/row.
+		// Pivot copies addressed to D blocks pass through.
+		bcSelf := rdd.MapValues(
+			dp.Filter(func(b Block) bool { return f.B(b.Key) || f.C(b.Key) }),
+			func(_ *rdd.TaskContext, _ matrix.Coord, t *matrix.Tile) Msg { return Msg{RoleSelf, t} })
+		abcBlocks := rdd.PartitionBy(
+			rdd.FlatMap(combineMsgs(bcSelf.Union(aBlocks), part),
+				func(tc *rdd.TaskContext, p rdd.Pair[matrix.Coord, Operands]) []rdd.Pair[matrix.Coord, Msg] {
+					key, ops := p.Key, p.Value
+					switch {
+					case key.I == k && key.J == k:
+						return []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, ops.Done})}
+					case key.I == k:
+						updated := applyKernel(tc, exec, kc, semiring.KindB, ops.Self, ops.Pivot, nil, ops.Pivot)
+						out := []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, updated})}
+						for _, i := range rest {
+							out = append(out, rdd.KV(matrix.Coord{I: i, J: key.J}, Msg{RoleRow, updated}))
+						}
+						return out
+					case key.J == k:
+						updated := applyKernel(tc, exec, kc, semiring.KindC, ops.Self, nil, ops.Pivot, ops.Pivot)
+						out := []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, updated})}
+						for _, j := range rest {
+							out = append(out, rdd.KV(matrix.Coord{I: key.I, J: j}, Msg{RoleCol, updated}))
+						}
+						return out
+					default:
+						// D-addressed pivot copy: forward to stage 3.
+						return []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RolePivot, ops.Pivot})}
+					}
+				}),
+			part)
+
+		// Stage 3: D updates the interior from its assembled operand set;
+		// the already-updated A/B/C tiles pass through. mapPartitions, as
+		// in Listing 1.
+		dSelf := rdd.MapValues(
+			dp.Filter(func(b Block) bool { return f.D(b.Key) }),
+			func(_ *rdd.TaskContext, _ matrix.Coord, t *matrix.Tile) Msg { return Msg{RoleSelf, t} })
+		abcdBlocks := rdd.PartitionBy(
+			rdd.MapPartitions(combineMsgs(dSelf.Union(abcBlocks), part),
+				func(tc *rdd.TaskContext, recs []rdd.Pair[matrix.Coord, Operands]) []Block {
+					out := make([]Block, 0, len(recs))
+					for _, p := range recs {
+						ops := p.Value
+						if ops.Self != nil {
+							updated := applyKernel(tc, exec, kc, semiring.KindD, ops.Self, ops.Col, ops.Row, ops.Pivot)
+							out = append(out, rdd.KV(p.Key, updated))
+						} else {
+							out = append(out, rdd.KV(p.Key, ops.Done))
+						}
+					}
+					return out
+				}, false),
+			part)
+
+		// Prepare the next generation: untouched blocks plus this
+		// iteration's outputs (the union is partitioner-aware, so the
+		// closing partitionBy is the no-op Spark would also skip).
+		prev := dp.Filter(func(b Block) bool { return !f.Touched(b.Key) })
+		dp = rdd.PartitionBy(prev.Union(abcdBlocks), part)
+
+		// Truncate lineage: without this every later action would replay
+		// all earlier generations' shuffle files (the Spark FW-APSP
+		// implementations checkpoint per generation for the same reason).
+		if err := dp.Checkpoint(); err != nil {
+			return dp, err
+		}
+		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
+		if err := ctx.Err(); err != nil {
+			return dp, err
+		}
+	}
+	return dp, nil
+}
+
+// combineMsgs assembles tagged tiles into per-key operand sets — the
+// combineByKey(..) calls of Listing 1. The inputs are co-partitioned, so
+// this aggregates in place (Spark skips the shuffle too, §II footnote 1).
+func combineMsgs(in *rdd.RDD[rdd.Pair[matrix.Coord, Msg]], part rdd.Partitioner) *rdd.RDD[rdd.Pair[matrix.Coord, Operands]] {
+	return rdd.CombineByKey(in,
+		func(m Msg) Operands { return Operands{}.absorb(m) },
+		func(o Operands, m Msg) Operands { return o.absorb(m) },
+		func(a, b Operands) Operands { return a.merge(b) },
+		part)
+}

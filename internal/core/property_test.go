@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+)
+
+// TestPropertyDriversMatchReference: randomized shapes, drivers, kernels
+// and tunables — every combination must reproduce the Fig. 1 reference.
+func TestPropertyDriversMatchReference(t *testing.T) {
+	f := func(seed int64, nRaw, bRaw, driverRaw, kernelRaw, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(nRaw)%28 // 4..31
+		b := 1 + int(bRaw)%10 // 1..10
+		driver := IM
+		if driverRaw%2 == 1 {
+			driver = CB
+		}
+		var rule semiring.Rule
+		switch seed % 3 {
+		case 0:
+			rule = semiring.NewFloydWarshall()
+		case 1:
+			rule = semiring.NewGaussian()
+		default:
+			rule = semiring.NewTransitiveClosure()
+		}
+		in := randomInput(rule, n, rng)
+		want := reference(rule, in)
+
+		cfg := Config{
+			Rule:       rule,
+			BlockSize:  b,
+			Driver:     driver,
+			Partitions: 1 + int(partsRaw)%9,
+		}
+		if kernelRaw%2 == 1 {
+			cfg.RecursiveKernel = true
+			cfg.RShared = 2 + int(kernelRaw)%3 // 2..4
+			cfg.Base = 1 + int(kernelRaw)%4
+			cfg.Threads = 1 + int(kernelRaw)%3
+		}
+		bl := matrix.Block(in, b, rule.Pad(), rule.PadDiag())
+		out, _, err := Run(newCtx(), bl, cfg)
+		if err != nil {
+			t.Logf("seed=%d n=%d b=%d: %v", seed, n, b, err)
+			return false
+		}
+		diff := out.ToDense().MaxAbsDiff(want)
+		if diff > tolFor(rule, n) {
+			t.Logf("seed=%d n=%d b=%d driver=%v cfg=%+v: diff=%v", seed, n, b, driver, cfg, diff)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPaddingInert: virtual padding never leaks into results —
+// solving the same problem at any tile size that forces padding gives
+// identical logical tables.
+func TestPropertyPaddingInert(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rule := semiring.NewFloydWarshall()
+		n := 17 // prime: no tile size divides it
+		in := randomInput(rule, n, rng)
+		want := reference(rule, in)
+		b := 2 + int(bRaw)%9
+		bl := matrix.Block(in, b, rule.Pad(), rule.PadDiag())
+		out, _, err := Run(newCtx(), bl, Config{Rule: rule, BlockSize: b, Driver: IM})
+		if err != nil {
+			return false
+		}
+		return out.ToDense().MaxAbsDiff(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStageCountsDeterministic: repeated runs of one config
+// produce identical stage structures (the scheduler is deterministic).
+func TestPropertyStageCountsDeterministic(t *testing.T) {
+	shape := func() []rdd.StageEvent {
+		rng := rand.New(rand.NewSource(5))
+		rule := semiring.NewGaussian()
+		in := randomInput(rule, 16, rng)
+		ctx := newCtx()
+		bl := matrix.Block(in, 4, rule.Pad(), rule.PadDiag())
+		if _, _, err := Run(ctx, bl, Config{Rule: rule, BlockSize: 4, Driver: IM}); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Events()
+	}
+	a, b := shape(), shape()
+	if len(a) != len(b) {
+		t.Fatalf("stage counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Tasks != b[i].Tasks ||
+			a[i].SpillBytes != b[i].SpillBytes || a[i].FetchBytes != b[i].FetchBytes {
+			t.Fatalf("stage %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package costmodel
+
+import (
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
+)
+
+func model() *Model { return New(cluster.Skylake16()) }
+
+func iterCfg(coTasks int) KernelConfig {
+	return KernelConfig{Recursive: false, CoTasks: coTasks}
+}
+
+func recCfg(rShared, threads, coTasks int) KernelConfig {
+	return KernelConfig{Recursive: true, RShared: rShared, Base: 64, Threads: threads, CoTasks: coTasks}
+}
+
+func TestEffectiveThreads(t *testing.T) {
+	if iterCfg(1).EffectiveThreads() != 1 {
+		t.Fatal("iterative must be single-threaded")
+	}
+	if recCfg(4, 8, 1).EffectiveThreads() != 8 {
+		t.Fatal("recursive threads")
+	}
+	if (KernelConfig{Recursive: true, Threads: 0}).EffectiveThreads() != 1 {
+		t.Fatal("clamp")
+	}
+}
+
+// TestIterativeCacheCliff: the signature observation of Fig. 6 — iterative
+// kernels are competitive while tiles fit in cache and degrade sharply
+// beyond, while recursive kernels stay near-flat per update.
+func TestIterativeCacheCliff(t *testing.T) {
+	m := model()
+	rule := semiring.NewFloydWarshall()
+	perUpdate := func(b int, kc KernelConfig) float64 {
+		d := m.KernelTime(rule, semiring.KindD, b, kc)
+		return d.Seconds() / float64(b) / float64(b) / float64(b)
+	}
+	itSmall := perUpdate(128, iterCfg(32))
+	itBig := perUpdate(2048, iterCfg(32))
+	if itBig < 2*itSmall {
+		t.Fatalf("iterative per-update cost must cliff: small=%g big=%g", itSmall, itBig)
+	}
+	recSmall := perUpdate(128, recCfg(4, 1, 32))
+	recBig := perUpdate(2048, recCfg(4, 1, 32))
+	if recBig > 1.6*recSmall {
+		t.Fatalf("recursive per-update cost must stay near-flat: small=%g big=%g", recSmall, recBig)
+	}
+	// And at large tiles parallel recursive beats iterative clearly.
+	if m.KernelTime(rule, semiring.KindD, 2048, recCfg(4, 8, 4)) >=
+		m.KernelTime(rule, semiring.KindD, 2048, iterCfg(32)) {
+		t.Fatal("parallel recursive must beat iterative on large tiles")
+	}
+}
+
+func TestThreadSpeedupMonotoneAndCapped(t *testing.T) {
+	m := model()
+	rule := semiring.NewGaussian()
+	prev := simtime.Duration(0)
+	for i, threads := range []int{1, 2, 4, 8, 16} {
+		d := m.KernelTime(rule, semiring.KindD, 1024, recCfg(8, threads, 1))
+		if i > 0 && d >= prev {
+			t.Fatalf("threads=%d did not speed up: %v >= %v", threads, d, prev)
+		}
+		prev = d
+	}
+	// With r_shared=2 the A kernel's exploitable parallelism is tiny:
+	// many threads must not help much.
+	d8 := m.KernelTime(rule, semiring.KindA, 1024, recCfg(2, 8, 1))
+	d32 := m.KernelTime(rule, semiring.KindA, 1024, recCfg(2, 32, 1))
+	if d32 < simtime.Duration(0.95*float64(d8)) {
+		t.Fatalf("r_shared=2 A kernel should be parallelism-capped: %v vs %v", d8, d32)
+	}
+}
+
+func TestKernelParallelismShape(t *testing.T) {
+	for _, r := range []int{2, 4, 16} {
+		pa := kernelParallelism(semiring.KindA, r)
+		pb := kernelParallelism(semiring.KindB, r)
+		pd := kernelParallelism(semiring.KindD, r)
+		if !(pa <= pb && pb <= pd) {
+			t.Fatalf("r=%d: parallelism must grow A≤B≤D: %g %g %g", r, pa, pb, pd)
+		}
+		if pd != float64(r) {
+			t.Fatalf("D parallelism = %g, want r_shared (single par_for level)", pd)
+		}
+	}
+	if kernelParallelism(semiring.KindA, 2) < 1 {
+		t.Fatal("parallelism must be ≥ 1")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	m := model()
+	if m.Occupancy(semiring.KindD, iterCfg(8)) != 1 {
+		t.Fatal("iterative occupancy must be 1")
+	}
+	// Threads beyond the kernel's parallelism sleep: occupancy caps at P.
+	if got := m.Occupancy(semiring.KindD, recCfg(4, 32, 1)); got != 4 {
+		t.Fatalf("rec4 D occupancy at omp32 = %d, want 4", got)
+	}
+	if got := m.Occupancy(semiring.KindD, recCfg(16, 8, 1)); got != 8 {
+		t.Fatalf("rec16 D occupancy at omp8 = %d, want 8", got)
+	}
+}
+
+func TestDivisionPenalty(t *testing.T) {
+	// GE updates divide by the pivot: both kernel families pay more per
+	// update than FW, the iterative (Numba) kernels the most.
+	m := model()
+	b := 64 // in-cache: isolates the per-update constant
+	fwIter := m.KernelTime(semiring.NewFloydWarshall(), semiring.KindD, b, iterCfg(1))
+	geIter := m.KernelTime(semiring.NewGaussian(), semiring.KindD, b, iterCfg(1))
+	if ratio := float64(geIter) / float64(fwIter); ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("GE iterative division penalty = %.2f, want ≈3", ratio)
+	}
+	fwRec := m.KernelTime(semiring.NewFloydWarshall(), semiring.KindD, b, recCfg(4, 1, 1))
+	geRec := m.KernelTime(semiring.NewGaussian(), semiring.KindD, b, recCfg(4, 1, 1))
+	itRatio := float64(geIter) / float64(fwIter)
+	recRatio := float64(geRec) / float64(fwRec)
+	if recRatio >= itRatio {
+		t.Fatalf("recursive kernels must pay a milder division penalty: %.2f vs %.2f", recRatio, itRatio)
+	}
+}
+
+func TestGEKernelWorkOrdering(t *testing.T) {
+	// GE kind A does ~n³/3 work, B/C ~n³/2, D n³ — times must reflect it.
+	m := model()
+	rule := semiring.NewGaussian()
+	a := m.KernelTime(rule, semiring.KindA, 512, iterCfg(1))
+	b := m.KernelTime(rule, semiring.KindB, 512, iterCfg(1))
+	d := m.KernelTime(rule, semiring.KindD, 512, iterCfg(1))
+	if !(a < b && b < d) {
+		t.Fatalf("GE kernel times must order A<B<D: %v %v %v", a, b, d)
+	}
+}
+
+func TestTransferPricing(t *testing.T) {
+	m := model()
+	if m.NetTime(0) != 0 || m.DiskWriteTime(0) != 0 || m.SharedReadTime(0) != 0 {
+		t.Fatal("zero bytes must cost nothing")
+	}
+	gb := int64(1) << 30
+	net := m.NetTime(gb).Seconds()
+	// Effective interconnect bandwidth is calibrated ≈ 1.2 GB/s (see the
+	// cluster preset docs): 1 GiB ≈ 0.9 s.
+	if net < 0.5 || net > 2 {
+		t.Fatalf("1GiB over the effective interconnect = %vs", net)
+	}
+	if m.DiskWriteTime(gb) <= m.DiskReadTime(gb) {
+		t.Fatal("SSD write must be slower than read in the preset")
+	}
+	haswell := New(cluster.Haswell16())
+	if haswell.DiskReadTime(gb) <= m.DiskReadTime(gb) {
+		t.Fatal("spinning disk must be slower than SSD")
+	}
+}
+
+func TestOverheads(t *testing.T) {
+	m := model()
+	if m.TaskOverhead() <= 0 || m.StageOverhead() <= 0 || m.DriverIterOverhead() <= 0 {
+		t.Fatal("overheads must be positive")
+	}
+	if m.StageOverhead() <= m.TaskOverhead() {
+		t.Fatal("stage overhead should dominate task overhead")
+	}
+}
+
+func TestClockScalePortability(t *testing.T) {
+	// Same kernel must be cheaper per-update on the faster-clocked
+	// cluster, all else equal.
+	sky := New(cluster.Skylake16())
+	has := New(cluster.Haswell16())
+	rule := semiring.NewFloydWarshall()
+	b := 64 // 3×64²×8 = 96KB fits both clusters' L2 at CoTasks=1
+	ds := sky.KernelTime(rule, semiring.KindD, b, iterCfg(1))
+	dh := has.KernelTime(rule, semiring.KindD, b, iterCfg(1))
+	if dh >= ds {
+		t.Fatalf("haswell (2.3GHz) should beat skylake (2.1GHz) in-cache: %v vs %v", dh, ds)
+	}
+}
+
+func TestHaswellSmallerL2Penalizes(t *testing.T) {
+	// A 256-tile task set fits Skylake's L2 budget regime better than
+	// Haswell's 256KB L2 — the root of Fig. 8's portability gap.
+	sky := New(cluster.Skylake16())
+	has := New(cluster.Haswell16())
+	if sky.iterPenalty(128, 1) != 1 {
+		t.Fatal("128 tile must be L2-resident on skylake")
+	}
+	if has.iterPenalty(128, 1) == 1 {
+		t.Fatal("3×128²×8 = 384KB must exceed haswell's 256KB L2")
+	}
+}

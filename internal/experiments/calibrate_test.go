@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+)
+
+// TestCalibrationProbe prints model times for the paper's anchor numbers.
+// Run with: go test ./internal/experiments/ -run Probe -v -tags ignore
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	probe := func(name string, want float64, c Cell) {
+		r := Run(c)
+		t.Logf("%-36s paper=%6.0fs model=%8.0fs note=%s breakdown=%v",
+			name, want, r.Time.Seconds(), r.Note(), r.Breakdown)
+	}
+	probe("FW IM iter b256", 651, Cell{Bench: FW, Driver: core.IM, Block: 256})
+	probe("FW IM iter b512", 800, Cell{Bench: FW, Driver: core.IM, Block: 512})
+	probe("FW IM iter b4096", 14530, Cell{Bench: FW, Driver: core.IM, Block: 4096})
+	probe("FW CB iter b4096", 14480, Cell{Bench: FW, Driver: core.CB, Block: 4096})
+	probe("FW IM rec16 b1024 omp8", 302, Cell{Bench: FW, Driver: core.IM, Block: 1024, Recursive: true, RShared: 16, Threads: 8})
+	probe("FW CB rec16 b1024 omp8", 400, Cell{Bench: FW, Driver: core.CB, Block: 1024, Recursive: true, RShared: 16, Threads: 8})
+	probe("GE CB iter b512", 1032, Cell{Bench: GE, Driver: core.CB, Block: 512})
+	probe("GE IM iter b512", 2000, Cell{Bench: GE, Driver: core.IM, Block: 512})
+	probe("GE CB rec4 b2048 omp16", 204, Cell{Bench: GE, Driver: core.CB, Block: 2048, Recursive: true, RShared: 4, Threads: 16})
+	probe("GE IM iter b4096", 11344, Cell{Bench: GE, Driver: core.IM, Block: 4096})
+	probe("GE CB iter b4096", 15548, Cell{Bench: GE, Driver: core.CB, Block: 4096})
+	// Table I corners (GE CB rec4 b1024): (omp, cores)
+	probe("T1 omp8 cores32", 213, Cell{Bench: GE, Driver: core.CB, Block: 1024, Recursive: true, RShared: 4, Threads: 8, ExecutorCores: 32})
+	probe("T1 omp2 cores32", 381, Cell{Bench: GE, Driver: core.CB, Block: 1024, Recursive: true, RShared: 4, Threads: 2, ExecutorCores: 32})
+	probe("T1 omp32 cores32", 581, Cell{Bench: GE, Driver: core.CB, Block: 1024, Recursive: true, RShared: 4, Threads: 32, ExecutorCores: 32})
+	probe("T1 omp2 cores1", 1302, Cell{Bench: GE, Driver: core.CB, Block: 1024, Recursive: true, RShared: 4, Threads: 2, ExecutorCores: 1})
+	probe("T1 omp32 cores1", 829, Cell{Bench: GE, Driver: core.CB, Block: 1024, Recursive: true, RShared: 4, Threads: 32, ExecutorCores: 1})
+	// Table II corners (FW IM rec16 b1024)
+	probe("T2 omp8 cores32", 302, Cell{Bench: FW, Driver: core.IM, Block: 1024, Recursive: true, RShared: 16, Threads: 8, ExecutorCores: 32})
+	probe("T2 omp2 cores1", 2233, Cell{Bench: FW, Driver: core.IM, Block: 1024, Recursive: true, RShared: 16, Threads: 2, ExecutorCores: 1})
+	probe("T2 omp32 cores32", 360, Cell{Bench: FW, Driver: core.IM, Block: 1024, Recursive: true, RShared: 16, Threads: 32, ExecutorCores: 32})
+	// Fig 8 cluster 2
+	probe("c2 FW IM rec4 b1024 omp8", 3144, Cell{Cluster: cluster.Haswell16(), Bench: FW, Driver: core.IM, Block: 1024, Recursive: true, RShared: 4, Threads: 8})
+	probe("c2 FW IM iter b512", 1500, Cell{Cluster: cluster.Haswell16(), Bench: FW, Driver: core.IM, Block: 512})
+}

@@ -1,0 +1,157 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the cluster model: Tables I–II (the executor-cores ×
+// OMP_NUM_THREADS grids), Fig. 6 (implementation × kernel × block-size
+// sweeps for FW-APSP and GE), Fig. 8 (portability across the Skylake and
+// Haswell clusters) and Fig. 9 (weak scaling), plus the headline
+// iterative-vs-recursive speedups and the ablations DESIGN.md lists.
+//
+// Runs are symbolic (model mode): the drivers execute their real code
+// path over symbolic tiles and the cluster simulator prices every stage;
+// see EXPERIMENTS.md for paper-vs-model numbers.
+package experiments
+
+import (
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
+)
+
+// PaperN is the evaluation's problem size: a 32K×32K DP table.
+const PaperN = 32768
+
+// Benchmark selects one of the paper's two GEP benchmarks.
+type Benchmark int
+
+// Benchmarks.
+const (
+	// FW is Floyd-Warshall all-pairs shortest paths.
+	FW Benchmark = iota
+	// GE is Gaussian elimination without pivoting.
+	GE
+)
+
+// String names the benchmark.
+func (b Benchmark) String() string {
+	if b == GE {
+		return "GE"
+	}
+	return "FW-APSP"
+}
+
+// Rule returns the benchmark's GEP update rule.
+func (b Benchmark) Rule() semiring.Rule {
+	if b == GE {
+		return semiring.NewGaussian()
+	}
+	return semiring.NewFloydWarshall()
+}
+
+// Cell is one experiment configuration.
+type Cell struct {
+	// Cluster to price on (nil → Skylake16).
+	Cluster *cluster.Cluster
+	// Bench selects the update rule.
+	Bench Benchmark
+	// N is the problem size (0 → PaperN).
+	N int
+	// Driver is IM or CB.
+	Driver core.DriverKind
+	// Block is the tile size b.
+	Block int
+	// Recursive selects r_shared-way R-DP kernels.
+	Recursive bool
+	// RShared and Threads configure recursive kernels.
+	RShared, Threads int
+	// ExecutorCores overrides the per-executor task slots (0 → all).
+	ExecutorCores int
+	// Partitions overrides the RDD partition count (0 → 2× cores).
+	Partitions int
+}
+
+// Result is a priced cell.
+type Result struct {
+	Cell
+	// Time is the modelled job time.
+	Time simtime.Duration
+	// TimedOut marks runs beyond the paper's 8-hour bound.
+	TimedOut bool
+	// Err reports modelled failures (e.g. staging disk full).
+	Err error
+	// Breakdown attributes resource-seconds by cost category.
+	Breakdown map[simtime.Category]simtime.Duration
+}
+
+// Note renders the failure annotation for charts ("" when the run is
+// valid).
+func (r Result) Note() string {
+	switch {
+	case r.Err != nil:
+		return "failed"
+	case r.TimedOut:
+		return "timeout"
+	default:
+		return ""
+	}
+}
+
+// Run prices one cell.
+func Run(c Cell) Result {
+	if c.Cluster == nil {
+		c.Cluster = cluster.Skylake16()
+	}
+	if c.N == 0 {
+		c.N = PaperN
+	}
+	ctx := rdd.NewContext(rdd.Conf{
+		Cluster:       c.Cluster,
+		ExecutorCores: c.ExecutorCores,
+	})
+	cfg := core.Config{
+		Rule:            c.Bench.Rule(),
+		BlockSize:       c.Block,
+		Driver:          c.Driver,
+		RecursiveKernel: c.Recursive,
+		RShared:         c.RShared,
+		Threads:         c.Threads,
+		Partitions:      c.Partitions,
+	}
+	bl := matrix.NewSymbolicBlocked(c.N, c.Block)
+	_, stats, err := core.Run(ctx, bl, cfg)
+	res := Result{Cell: c, Err: err, Breakdown: ctx.Ledger().Snapshot()}
+	if stats != nil {
+		res.Time = stats.Time
+		res.TimedOut = stats.TimedOut
+	}
+	return res
+}
+
+// RunBestThreads prices the cell at each OMP_NUM_THREADS candidate and
+// returns the fastest valid run — the paper's methodology of reporting
+// the best thread count per configuration (§V-C).
+func RunBestThreads(c Cell, threadCandidates []int) Result {
+	if !c.Recursive || len(threadCandidates) == 0 {
+		return Run(c)
+	}
+	var best Result
+	for i, th := range threadCandidates {
+		cc := c
+		cc.Threads = th
+		r := Run(cc)
+		if i == 0 || better(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// better prefers valid runs, then lower times.
+func better(a, b Result) bool {
+	av, bv := a.Note() == "", b.Note() == ""
+	if av != bv {
+		return av
+	}
+	return a.Time < b.Time
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/report"
+)
+
+// fig6Blocks is the block-size sweep of §V-C.
+var fig6Blocks = []int{256, 512, 1024, 2048, 4096}
+
+// fig6RShared is the recursive-kernel fan-out sweep.
+var fig6RShared = []int{2, 4, 8, 16}
+
+// fig6Threads returns the OMP candidates tried per block size. Small
+// blocks replay only the paper's typical winner to bound harness cost;
+// large blocks (cheap to price) try the contenders of Tables I–II.
+func fig6Threads(block int) []int {
+	if block >= 1024 {
+		return []int{8, 16}
+	}
+	return []int{8}
+}
+
+// Fig6 regenerates one panel of Fig. 6: every implementation (IM/CB ×
+// iterative/recursive r_shared ∈ {2,4,8,16}) across block sizes, best
+// OMP_NUM_THREADS reported per recursive cell. n=0 runs the paper size.
+func Fig6(bench Benchmark, n int) (*report.BarChart, []Result) {
+	chart := &report.BarChart{
+		Title: fmt.Sprintf("Fig. 6 (%s): runtime by implementation and block size", bench),
+		Unit:  "s",
+	}
+	var results []Result
+	for _, block := range fig6Blocks {
+		group := report.Group{Label: fmt.Sprintf("block %d", block)}
+		for _, driver := range []core.DriverKind{core.IM, core.CB} {
+			iter := Run(Cell{Bench: bench, N: n, Driver: driver, Block: block})
+			results = append(results, iter)
+			group.Bars = append(group.Bars, report.Bar{
+				Name:  fmt.Sprintf("%s iter", driver),
+				Value: iter.Time.Seconds(),
+				Note:  iter.Note(),
+			})
+			for _, rs := range fig6RShared {
+				r := RunBestThreads(Cell{
+					Bench: bench, N: n, Driver: driver, Block: block,
+					Recursive: true, RShared: rs,
+				}, fig6Threads(block))
+				results = append(results, r)
+				group.Bars = append(group.Bars, report.Bar{
+					Name:  fmt.Sprintf("%s rec%d (omp%d)", driver, rs, r.Threads),
+					Value: r.Time.Seconds(),
+					Note:  r.Note(),
+				})
+			}
+		}
+		chart.Group = append(chart.Group, group)
+	}
+	return chart, results
+}
+
+// Fig8 regenerates Fig. 8: the FW-APSP portability comparison between
+// the Skylake cluster (cluster #1) and the weaker Haswell cluster
+// (cluster #2, 640 partitions, spinning disks). Per cluster it prices
+// IM/CB × iterative and 4-way recursive (OMP 8) kernels over the block
+// sweep. n=0 runs the paper size.
+func Fig8(n int) (*report.BarChart, []Result) {
+	chart := &report.BarChart{
+		Title: "Fig. 8: FW-APSP on cluster #1 (Skylake/SSD) vs cluster #2 (Haswell/HDD)",
+		Unit:  "s",
+	}
+	clusters := []*cluster.Cluster{cluster.Skylake16(), cluster.Haswell16()}
+	var results []Result
+	for _, block := range fig6Blocks {
+		group := report.Group{Label: fmt.Sprintf("block %d", block)}
+		for ci, cl := range clusters {
+			for _, driver := range []core.DriverKind{core.IM, core.CB} {
+				iter := Run(Cell{Cluster: cl, Bench: FW, N: n, Driver: driver, Block: block})
+				results = append(results, iter)
+				group.Bars = append(group.Bars, report.Bar{
+					Name:  fmt.Sprintf("c%d %s iter", ci+1, driver),
+					Value: iter.Time.Seconds(),
+					Note:  iter.Note(),
+				})
+				rec := Run(Cell{Cluster: cl, Bench: FW, N: n, Driver: driver, Block: block,
+					Recursive: true, RShared: 4, Threads: 8})
+				results = append(results, rec)
+				group.Bars = append(group.Bars, report.Bar{
+					Name:  fmt.Sprintf("c%d %s rec4 (omp8)", ci+1, driver),
+					Value: rec.Time.Seconds(),
+					Note:  rec.Note(),
+				})
+			}
+		}
+		chart.Group = append(chart.Group, group)
+	}
+	return chart, results
+}
+
+// fig9Nodes is the weak-scaling node sweep.
+var fig9Nodes = []int{1, 8, 64}
+
+// Fig9 regenerates Fig. 9: weak scaling with fixed work per node —
+// N³/p = (4K)³ for FW-APSP and (8K)³ for GE (§V-C). Configurations
+// follow the paper: FW compares IM iterative (block 512) against IM
+// 4-way recursive (block 1024, OMP 8); GE compares the same kernels
+// under the CB driver.
+func Fig9() (*report.LineChart, []Result) {
+	chart := &report.LineChart{Title: "Fig. 9: weak scaling (seconds per run)", Unit: "s"}
+	var results []Result
+
+	type series struct {
+		name     string
+		bench    Benchmark
+		driver   core.DriverKind
+		baseN    int
+		makeCell func(n int, cl *cluster.Cluster) Cell
+	}
+	mk := func(bench Benchmark, driver core.DriverKind, baseN int, recursive bool) series {
+		name := fmt.Sprintf("%s %s iter b512", bench, driver)
+		if recursive {
+			name = fmt.Sprintf("%s %s rec4 b1024 omp8", bench, driver)
+		}
+		return series{
+			name: name, bench: bench, driver: driver, baseN: baseN,
+			makeCell: func(n int, cl *cluster.Cluster) Cell {
+				c := Cell{Cluster: cl, Bench: bench, N: n, Driver: driver, Block: 512}
+				if recursive {
+					c.Block = 1024
+					c.Recursive = true
+					c.RShared = 4
+					c.Threads = 8
+				}
+				return c
+			},
+		}
+	}
+	all := []series{
+		mk(FW, core.IM, 4096, false),
+		mk(FW, core.IM, 4096, true),
+		mk(GE, core.CB, 8192, false),
+		mk(GE, core.CB, 8192, true),
+	}
+
+	for _, s := range all {
+		line := report.Line{Name: s.name}
+		for _, p := range fig9Nodes {
+			// Fixed work per node: N = baseN · p^(1/3), rounded to the
+			// block grid.
+			n := int(math.Round(float64(s.baseN) * math.Cbrt(float64(p))))
+			n = (n / 1024) * 1024
+			cl := cluster.Skylake16().WithNodes(p)
+			r := Run(s.makeCell(n, cl))
+			results = append(results, r)
+			line.Points = append(line.Points, report.Point{
+				Label: fmt.Sprintf("%d nodes", p),
+				Value: r.Time.Seconds(),
+				Note:  r.Note(),
+			})
+		}
+		chart.Lines = append(chart.Lines, line)
+	}
+	return chart, results
+}
+
+// Headline derives the paper's headline claim from Fig. 6 results: the
+// best iterative-kernel and best recursive-kernel runtimes per benchmark
+// and the resulting speedup (§I: "2–5× speedup of the DP benchmarks").
+type Headline struct {
+	Bench     Benchmark
+	BestIter  Result
+	BestRec   Result
+	Speedup   float64
+	BestIterS float64
+	BestRecS  float64
+}
+
+// ComputeHeadline extracts the headline numbers from a Fig. 6 result set.
+func ComputeHeadline(bench Benchmark, results []Result) Headline {
+	h := Headline{Bench: bench, Speedup: math.NaN()}
+	var haveIter, haveRec bool
+	for _, r := range results {
+		if r.Note() != "" {
+			continue
+		}
+		if r.Recursive {
+			if !haveRec || r.Time < h.BestRec.Time {
+				h.BestRec = r
+				haveRec = true
+			}
+		} else if !haveIter || r.Time < h.BestIter.Time {
+			h.BestIter = r
+			haveIter = true
+		}
+	}
+	if haveIter && haveRec && h.BestRec.Time > 0 {
+		h.BestIterS = h.BestIter.Time.Seconds()
+		h.BestRecS = h.BestRec.Time.Seconds()
+		h.Speedup = h.BestIterS / h.BestRecS
+	}
+	return h
+}

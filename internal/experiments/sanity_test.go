@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/simtime"
+)
+
+// Monotonicity properties of the whole model stack: physically sensible
+// directions that must hold regardless of calibration constants.
+
+func TestMoreNodesNeverSlower(t *testing.T) {
+	base := Cell{Bench: FW, N: 8192, Driver: core.IM, Block: 512,
+		Recursive: true, RShared: 4, Threads: 8}
+	c16 := Run(base)
+	big := base
+	big.Cluster = cluster.Skylake16().WithNodes(64)
+	c64 := Run(big)
+	if c64.Time >= c16.Time {
+		t.Fatalf("64 nodes (%v) must beat 16 nodes (%v)", c64.Time, c16.Time)
+	}
+}
+
+func TestSlowerDiskHurtsIMMoreThanCB(t *testing.T) {
+	slow := cluster.Skylake16()
+	slow.Node.Disk.ReadBW /= 16
+	slow.Node.Disk.WriteBW /= 16
+
+	run := func(cl *cluster.Cluster, driver core.DriverKind) simtime.Duration {
+		return Run(Cell{Cluster: cl, Bench: FW, N: 8192, Driver: driver, Block: 512}).Time
+	}
+	imPenalty := run(slow, core.IM).Seconds() / run(cluster.Skylake16(), core.IM).Seconds()
+	cbPenalty := run(slow, core.CB).Seconds() / run(cluster.Skylake16(), core.CB).Seconds()
+	if imPenalty <= cbPenalty {
+		t.Fatalf("slow staging disks must hurt the shuffle-heavy IM driver more: IM %.2f× vs CB %.2f×",
+			imPenalty, cbPenalty)
+	}
+}
+
+func TestBiggerProblemTakesLonger(t *testing.T) {
+	small := Run(Cell{Bench: GE, N: 8192, Driver: core.CB, Block: 512})
+	big := Run(Cell{Bench: GE, N: 16384, Driver: core.CB, Block: 512})
+	// 2× n is 8× work, but at these sizes per-iteration driver/stage
+	// overheads (which only double) still dominate GE; require a clear
+	// super-linear gap without overfitting the split.
+	if big.Time < 2*small.Time {
+		t.Fatalf("16K (%v) must cost ≫ 8K (%v)", big.Time, small.Time)
+	}
+}
+
+func TestFasterNetworkHelpsIM(t *testing.T) {
+	fast := cluster.Skylake16()
+	fast.Net.BandwidthBps *= 10
+	slow := Run(Cell{Bench: FW, N: 8192, Driver: core.IM, Block: 256})
+	quick := Run(Cell{Cluster: fast, Bench: FW, N: 8192, Driver: core.IM, Block: 256})
+	if quick.Time >= slow.Time {
+		t.Fatalf("10× network must help the IM driver: %v vs %v", quick.Time, slow.Time)
+	}
+}
+
+func TestGEBenefitsFromCBAsGridShrinks(t *testing.T) {
+	// The pivot-copy volume grows with the grid: the IM→CB gain for GE
+	// must grow as blocks shrink (more iterations, more copies).
+	gap := func(block int) float64 {
+		im := Run(Cell{Bench: GE, Driver: core.IM, Block: block})
+		cb := Run(Cell{Bench: GE, Driver: core.CB, Block: block})
+		return im.Time.Seconds() / cb.Time.Seconds()
+	}
+	coarse := gap(2048)
+	fine := gap(512)
+	if fine <= coarse {
+		t.Fatalf("IM→CB gain must grow as blocks shrink: b512 %.2f× vs b2048 %.2f×", fine, coarse)
+	}
+}
+
+func TestBreakdownStringMentionsCategories(t *testing.T) {
+	r := Run(Cell{Bench: FW, N: 4096, Driver: core.IM, Block: 512})
+	s := r.BreakdownString()
+	for _, want := range []string{"compute=", "disk=", "net=", "overhead="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("breakdown %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	g := PowerLaw(400, 3, 1, 5, rng)
+	if g.N != 400 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Every vertex after the first has out-edges.
+	for v := 1; v < g.N; v++ {
+		if len(g.Adj[v]) == 0 {
+			t.Fatalf("vertex %d has no out-edges", v)
+		}
+	}
+	// Heavy tail: the max in-degree is far above the mean.
+	in := make([]int, g.N)
+	for _, es := range g.Adj {
+		for _, e := range es {
+			in[e.To]++
+			if e.From == e.To {
+				t.Fatal("self loop")
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(in)))
+	mean := float64(g.Edges()) / float64(g.N)
+	if float64(in[0]) < 4*mean {
+		t.Fatalf("max in-degree %d not heavy-tailed (mean %.1f)", in[0], mean)
+	}
+	// No duplicate out-edges from one vertex.
+	for v, es := range g.Adj {
+		seen := map[int]bool{}
+		for _, e := range es {
+			if seen[e.To] {
+				t.Fatalf("duplicate edge from %d to %d", v, e.To)
+			}
+			seen[e.To] = true
+		}
+	}
+}
+
+func TestLayeredIsDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	g := Layered(5, 6, 2, 1, 3, rng)
+	if g.N != 30 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() != 4*6*2 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	// All edges go strictly forward by layer.
+	for _, es := range g.Adj {
+		for _, e := range es {
+			if e.To/6 != e.From/6+1 {
+				t.Fatalf("edge %d→%d not layer-forward", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g := Random(20, 0.2, 1, 9, rng)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.Edges() != g.Edges() {
+		t.Fatalf("round trip %d/%d vs %d/%d", back.N, back.Edges(), g.N, g.Edges())
+	}
+	if back.DistanceMatrix().MaxAbsDiff(g.DistanceMatrix()) != 0 {
+		t.Fatal("weights changed in round trip")
+	}
+}
+
+func TestDIMACSComments(t *testing.T) {
+	in := "c header\np sp 3 2\nc mid\na 1 2 4.5\na 2 3 1\n"
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Edges() != 2 || g.Adj[0][0].Weight != 4.5 {
+		t.Fatalf("parsed %+v", g)
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"a 1 2 3\n",             // arc before problem line
+		"p xx 3 2\n",            // wrong problem type
+		"p sp 3 2\na 1 9 1\n",   // out of range
+		"p sp 3 2\na 1 2\n",     // short arc
+		"p sp 3 2\nz what\n",    // unknown record
+		"p sp -1 2\n",           // bad count
+		"p sp 3 2\na x y 1.0\n", // malformed ints
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dpspark/internal/semiring"
+)
+
+func TestDistanceMatrixBasics(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 1, 3) // parallel edge: keep min
+	g.AddEdge(1, 2, 1)
+	d := g.DistanceMatrix()
+	if d.At(0, 1) != 3 {
+		t.Fatalf("parallel edge not minimized: %v", d.At(0, 1))
+	}
+	if d.At(0, 0) != 0 || d.At(2, 2) != 0 {
+		t.Fatal("diagonal must be 0")
+	}
+	if !math.IsInf(d.At(2, 0), 1) {
+		t.Fatal("missing edge must be +Inf")
+	}
+}
+
+func TestDijkstraAgainstFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(20)
+		g := Random(n, 0.15, 1, 10, rng)
+		d := g.DistanceMatrix()
+		semiring.FloydWarshallReference(d.Data, n)
+		ref := g.APSPReference()
+		if diff := d.MaxAbsDiff(ref); diff > 1e-9 {
+			t.Fatalf("trial %d: FW vs Dijkstra diff %v", trial, diff)
+		}
+	}
+}
+
+func TestGridGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := Grid(3, 4, 1, 2, rng)
+	if g.N != 12 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// 4-neighbour grid, both directions: 2*(rows*(cols-1) + (rows-1)*cols).
+	want := 2 * (3*3 + 2*4)
+	if g.Edges() != want {
+		t.Fatalf("Edges = %d, want %d", g.Edges(), want)
+	}
+	// Grid is strongly connected: no +Inf after FW.
+	d := g.DistanceMatrix()
+	semiring.FloydWarshallReference(d.Data, g.N)
+	for i, v := range d.Data {
+		if math.IsInf(v, 1) {
+			t.Fatalf("grid not connected at %d", i)
+		}
+	}
+}
+
+func TestAdjacencyBool(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2, 7)
+	a := g.AdjacencyBool()
+	if a.At(0, 2) != 1 || a.At(2, 0) != 0 || a.At(1, 1) != 1 {
+		t.Fatal("AdjacencyBool wrong")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := Random(15, 0.3, 1, 5, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.Edges() != g.Edges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", back.N, back.Edges(), g.N, g.Edges())
+	}
+	if back.DistanceMatrix().MaxAbsDiff(g.DistanceMatrix()) != 0 {
+		t.Fatal("distance matrices differ after round trip")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"abc",                    // bad count
+		"3\n0 1",                 // short edge line
+		"3\n0 9 1.5",             // vertex out of range
+		"2\nx y z",               // malformed numbers
+		"# only comments\n% etc", // no content
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n3\n% more\n0 1 2.5\n1 2 1.0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.Edges() != 2 {
+		t.Fatalf("parsed %d/%d", g.N, g.Edges())
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 5, 1)
+}

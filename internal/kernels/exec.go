@@ -1,0 +1,126 @@
+package kernels
+
+import (
+	"fmt"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Exec is a kernel implementation choice: the paper's experiments compare
+// an Iterative exec (loop kernels) against RecursiveExec (r_shared-way
+// R-DP kernels run on an OMP-style pool). Apply updates tile x in place;
+// u, v, w may be nil where Fig. 4's signature omits them (A takes only X,
+// B takes X,U,W, C takes X,V,W) and are then wired to x.
+type Exec interface {
+	// Name describes the kernel configuration, e.g. "iterative" or
+	// "recursive(r=4,threads=8)".
+	Name() string
+	// Rule returns the GEP update rule the kernels apply.
+	Rule() semiring.Rule
+	// Apply runs the kernel of the given kind on x.
+	Apply(kind semiring.Kind, x, u, v, w *matrix.Tile)
+}
+
+// normalize fills Fig. 4's implicit operands and validates dimensions.
+func normalize(x, u, v, w *matrix.Tile) (xv, uv, vv, wv matrix.View) {
+	if u == nil {
+		u = x
+	}
+	if v == nil {
+		v = x
+	}
+	if w == nil {
+		w = x
+	}
+	if u.B != x.B || v.B != x.B || w.B != x.B {
+		panic(fmt.Sprintf("kernels: operand tile sizes differ: %d/%d/%d/%d", x.B, u.B, v.B, w.B))
+	}
+	return x.View(), u.View(), v.View(), w.View()
+}
+
+// Iterative runs plain loop kernels — the baseline kernel type
+// (Schoeneman–Zola / Numba style), single-threaded per invocation.
+type Iterative struct {
+	R semiring.Rule
+}
+
+// NewIterative returns an iterative kernel exec for the rule.
+func NewIterative(rule semiring.Rule) Iterative { return Iterative{R: rule} }
+
+// Name implements Exec.
+func (e Iterative) Name() string { return "iterative" }
+
+// Rule implements Exec.
+func (e Iterative) Rule() semiring.Rule { return e.R }
+
+// Apply implements Exec.
+func (e Iterative) Apply(kind semiring.Kind, x, u, v, w *matrix.Tile) {
+	xv, uv, vv, wv := normalize(x, u, v, w)
+	Loop(e.R, kind, xv, uv, vv, wv)
+}
+
+// RecursiveExec runs the r_shared-way recursive R-DP kernels on a worker
+// pool of Threads goroutines (the OMP_NUM_THREADS analogue).
+type RecursiveExec struct {
+	rec *Recursive
+}
+
+// NewRecursiveExec returns a recursive kernel exec. rShared is the fan-out
+// (≥2), base the base-case size, threads the pool width (≤1 ⇒ serial).
+func NewRecursiveExec(rule semiring.Rule, rShared, base, threads int) RecursiveExec {
+	var pool *Pool
+	if threads > 1 {
+		pool = NewPool(threads)
+	}
+	return RecursiveExec{rec: NewRecursive(rule, rShared, base, pool)}
+}
+
+// Name implements Exec.
+func (e RecursiveExec) Name() string {
+	return fmt.Sprintf("recursive(r=%d,base=%d,threads=%d)", e.rec.R, e.rec.Base, e.rec.Pool.Threads())
+}
+
+// Rule implements Exec.
+func (e RecursiveExec) Rule() semiring.Rule { return e.rec.Rule }
+
+// RShared returns the kernel fan-out.
+func (e RecursiveExec) RShared() int { return e.rec.R }
+
+// Threads returns the pool width.
+func (e RecursiveExec) Threads() int { return e.rec.Pool.Threads() }
+
+// Apply implements Exec.
+func (e RecursiveExec) Apply(kind semiring.Kind, x, u, v, w *matrix.Tile) {
+	xv, uv, vv, wv := normalize(x, u, v, w)
+	e.rec.Run(kind, xv, uv, vv, wv)
+}
+
+// RunLocal executes the full top-level blocked GEP algorithm on a single
+// machine: for each grid iteration k it applies A to the pivot tile, B/C
+// to the panels and D to the interior, exactly the stage structure the
+// distributed drivers replay over the engine. It is the single-machine
+// reference implementation used throughout the tests.
+func RunLocal(bl *matrix.Blocked, exec Exec) {
+	rule := exec.Rule()
+	for k := 0; k < bl.R; k++ {
+		pivot := bl.Tile(matrix.Coord{I: k, J: k})
+		exec.Apply(semiring.KindA, pivot, nil, nil, nil)
+		rest := rule.Restricted(k, bl.R)
+		for _, j := range rest {
+			exec.Apply(semiring.KindB, bl.Tile(matrix.Coord{I: k, J: j}), pivot, nil, pivot)
+		}
+		for _, i := range rest {
+			exec.Apply(semiring.KindC, bl.Tile(matrix.Coord{I: i, J: k}), nil, pivot, pivot)
+		}
+		for _, i := range rest {
+			for _, j := range rest {
+				exec.Apply(semiring.KindD,
+					bl.Tile(matrix.Coord{I: i, J: j}),
+					bl.Tile(matrix.Coord{I: i, J: k}),
+					bl.Tile(matrix.Coord{I: k, J: j}),
+					pivot)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Loop runs the iterative (loop-based) GEP kernel of the given kind on the
+// b×b views, updating x in place:
+//
+//	for k; for i ≥ rule.ILow(kind,k); for j ≥ rule.JLow(kind,k):
+//	    x[i,j] = f(x[i,j], u[i,k], v[k,j], w[k,k])
+//
+// Aliasing follows Fig. 4's kernel signatures: for kind A the caller
+// passes u = v = w = x; for kind B the v operand is x itself (the row
+// panel reads its own pivot row); for kind C the u operand is x itself.
+// Exec.Apply wires these automatically.
+//
+// All views must have equal dimension. This is the base case of the
+// recursive kernels and, used directly on whole tiles, the paper's
+// "iterative kernel" configuration.
+func Loop(rule semiring.Rule, kind semiring.Kind, x, u, v, w matrix.View) {
+	n := x.N
+	if u.N != n || v.N != n || w.N != n {
+		panic("kernels: Loop operand dimensions differ")
+	}
+	// Specialized inner loops for the two benchmark rules: the generic
+	// path pays an interface call per element update, which dominates
+	// real-mode runs. The fast paths are semantically identical
+	// (TestLoopFastPathsMatchGeneric pins this).
+	switch r := rule.(type) {
+	case semiring.SemiringRule:
+		if r.S.Name() == "min-plus" {
+			loopMinPlus(x, u, v)
+			return
+		}
+	case semiring.GaussianRule:
+		loopGaussian(r, kind, x, u, v, w)
+		return
+	}
+	for k := 0; k < n; k++ {
+		wkk := w.At(k, k)
+		for i := rule.ILow(kind, k); i < n; i++ {
+			uik := u.At(i, k)
+			xrow := x.Data[i*x.Stride:]
+			vrow := v.Data[k*v.Stride:]
+			for j := rule.JLow(kind, k); j < n; j++ {
+				xrow[j] = rule.Apply(xrow[j], uik, vrow[j], wkk)
+			}
+		}
+	}
+}
+
+// loopMinPlus is the Floyd-Warshall inner loop: x[i,j] = min(x, u[i,k] +
+// v[k,j]) over the full cube (semiring rules have zero loop lower bounds
+// and ignore the pivot operand).
+func loopMinPlus(x, u, v matrix.View) {
+	n := x.N
+	for k := 0; k < n; k++ {
+		vrow := v.Data[k*v.Stride:]
+		for i := 0; i < n; i++ {
+			uik := u.At(i, k)
+			xrow := x.Data[i*x.Stride:]
+			for j := 0; j < n; j++ {
+				if t := uik + vrow[j]; t < xrow[j] {
+					xrow[j] = t
+				}
+			}
+		}
+	}
+}
+
+// loopGaussian is the elimination inner loop with the row multiplier
+// u[i,k]/w[k,k] hoisted out of the j loop (one division per row instead
+// of per element — the classic GE formulation of Fig. 2).
+func loopGaussian(rule semiring.GaussianRule, kind semiring.Kind, x, u, v, w matrix.View) {
+	n := x.N
+	for k := 0; k < n; k++ {
+		wkk := w.At(k, k)
+		vrow := v.Data[k*v.Stride:]
+		jLow := rule.JLow(kind, k)
+		for i := rule.ILow(kind, k); i < n; i++ {
+			f := u.At(i, k) / wkk
+			xrow := x.Data[i*x.Stride:]
+			for j := jLow; j < n; j++ {
+				xrow[j] -= f * vrow[j]
+			}
+		}
+	}
+}
+
+// Updates returns the number of element updates a kernel of the given kind
+// performs on an n×n operand under the given rule — the work measure the
+// cost model charges for. For semiring rules every kind costs n³; for GE
+// kind A costs ~n³/3, B and C ~n³/2 and D n³.
+func Updates(rule semiring.Rule, kind semiring.Kind, n int) int64 {
+	var total int64
+	for k := 0; k < n; k++ {
+		rows := int64(n - rule.ILow(kind, k))
+		cols := int64(n - rule.JLow(kind, k))
+		if rows > 0 && cols > 0 {
+			total += rows * cols
+		}
+	}
+	return total
+}

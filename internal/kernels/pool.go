@@ -1,0 +1,75 @@
+// Package kernels implements the compute kernels of the paper's Fig. 4:
+// the four GEP kernel functions A, B, C and D in both an iterative
+// (loop-based, the Schoeneman–Zola / Numba style) and a parametric r-way
+// recursive divide-&-conquer (R-DP) form, generic over the GEP update rule.
+//
+// Parallelism inside a kernel invocation — the paper's OpenMP environment
+// with OMP_NUM_THREADS — is provided by a Pool of worker tokens: the
+// recursive kernels fork goroutines along the par_for structure of Fig. 4
+// and gate base-case execution on pool tokens, so at most Threads leaf
+// kernels compute simultaneously.
+package kernels
+
+import "sync"
+
+// Pool bounds the number of concurrently executing base-case kernels.
+// It is the OMP_NUM_THREADS analogue: one Pool per kernel invocation
+// context, shared across the recursion. A nil *Pool means fully serial
+// execution (no goroutines at all), which the engine uses when many
+// kernel tasks already run concurrently.
+type Pool struct {
+	threads int
+	sem     chan struct{}
+}
+
+// NewPool returns a pool admitting up to threads concurrent leaf kernels.
+// threads < 1 is treated as 1.
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Pool{threads: threads, sem: make(chan struct{}, threads)}
+}
+
+// Threads returns the pool's concurrency bound.
+func (p *Pool) Threads() int {
+	if p == nil {
+		return 1
+	}
+	return p.threads
+}
+
+// leaf runs fn while holding a worker token. Tokens are held only across
+// base-case work, never across recursive calls, so recursion depth cannot
+// deadlock the pool.
+func (p *Pool) leaf(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// parallel runs all fns, concurrently when a pool is present (the caller's
+// goroutine executes the first one). It returns when every fn finished —
+// the stage barrier of Fig. 4's par_for groups.
+func (p *Pool) parallel(fns []func()) {
+	if p == nil || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}

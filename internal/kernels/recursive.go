@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"fmt"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Recursive executes the parametric r-way recursive divide-&-conquer
+// GEP kernels of Fig. 4. Each invocation subdivides its operands into
+// R×R sub-views and issues the A/B/C/D sub-calls of the figure, running
+// par_for groups in parallel on the Pool; once an operand reaches Base
+// (or stops dividing evenly by R) the iterative Loop kernel finishes it.
+//
+// R is the paper's r_shared tunable: larger R means wider fan-out
+// (coarse-grained parallelism) and smaller sub-blocks sooner. The
+// algorithms are cache-oblivious in the 2-way case and remain I/O
+// efficient for any fixed R.
+type Recursive struct {
+	Rule semiring.Rule
+	// R is the fan-out per recursion level (r_shared ≥ 2).
+	R int
+	// Base is the base-case size: operands of dimension ≤ Base run Loop.
+	Base int
+	// Pool bounds leaf parallelism; nil runs serially.
+	Pool *Pool
+}
+
+// NewRecursive returns a recursive kernel runner, validating parameters.
+func NewRecursive(rule semiring.Rule, r, base int, pool *Pool) *Recursive {
+	if r < 2 {
+		panic(fmt.Sprintf("kernels: r_shared must be ≥ 2, got %d", r))
+	}
+	if base < 1 {
+		panic(fmt.Sprintf("kernels: base size must be ≥ 1, got %d", base))
+	}
+	return &Recursive{Rule: rule, R: r, Base: base, Pool: pool}
+}
+
+// Run executes the kernel of the given kind on x (updating it in place)
+// with panel/pivot operands u, v, w wired as in Fig. 4. As with Loop,
+// kind A expects u = v = w = x, kind B expects v = x, kind C expects u = x.
+func (rc *Recursive) Run(kind semiring.Kind, x, u, v, w matrix.View) {
+	n := x.N
+	if n <= rc.Base || n%rc.R != 0 {
+		rc.Pool.leaf(func() { Loop(rc.Rule, kind, x, u, v, w) })
+		return
+	}
+	r := rc.R
+	q := func(view matrix.View, i, j int) matrix.View { return view.Quadrant(i, j, r) }
+
+	for k := 0; k < r; k++ {
+		rest := rc.Rule.Restricted(k, r)
+		switch kind {
+		case semiring.KindA:
+			// A(X_kk), then {B(X_kj), C(X_ik)} in parallel, then D(X_ij).
+			xkk := q(x, k, k)
+			rc.Run(semiring.KindA, xkk, xkk, xkk, xkk)
+			var panel []func()
+			for _, j := range rest {
+				j := j
+				panel = append(panel, func() {
+					rc.Run(semiring.KindB, q(x, k, j), xkk, q(x, k, j), xkk)
+				})
+			}
+			for _, i := range rest {
+				i := i
+				panel = append(panel, func() {
+					rc.Run(semiring.KindC, q(x, i, k), q(x, i, k), xkk, xkk)
+				})
+			}
+			rc.Pool.parallel(panel)
+			var interior []func()
+			for _, i := range rest {
+				for _, j := range rest {
+					i, j := i, j
+					interior = append(interior, func() {
+						rc.Run(semiring.KindD, q(x, i, j), q(x, i, k), q(x, k, j), xkk)
+					})
+				}
+			}
+			rc.Pool.parallel(interior)
+
+		case semiring.KindB:
+			// B(X_kj, U_kk, W_kk) ∀j, then D(X_ij, U_ik, X_kj, W_kk)
+			// for restricted i, ∀j.
+			ukk, wkk := q(u, k, k), q(w, k, k)
+			var row []func()
+			for j := 0; j < r; j++ {
+				j := j
+				row = append(row, func() {
+					rc.Run(semiring.KindB, q(x, k, j), ukk, q(x, k, j), wkk)
+				})
+			}
+			rc.Pool.parallel(row)
+			var interior []func()
+			for _, i := range rest {
+				for j := 0; j < r; j++ {
+					i, j := i, j
+					interior = append(interior, func() {
+						rc.Run(semiring.KindD, q(x, i, j), q(u, i, k), q(x, k, j), wkk)
+					})
+				}
+			}
+			rc.Pool.parallel(interior)
+
+		case semiring.KindC:
+			// C(X_ik, V_kk, W_kk) ∀i, then D(X_ij, X_ik, V_kj, W_kk)
+			// ∀i, restricted j.
+			vkk, wkk := q(v, k, k), q(w, k, k)
+			var col []func()
+			for i := 0; i < r; i++ {
+				i := i
+				col = append(col, func() {
+					rc.Run(semiring.KindC, q(x, i, k), q(x, i, k), vkk, wkk)
+				})
+			}
+			rc.Pool.parallel(col)
+			var interior []func()
+			for i := 0; i < r; i++ {
+				for _, j := range rest {
+					i, j := i, j
+					interior = append(interior, func() {
+						rc.Run(semiring.KindD, q(x, i, j), q(x, i, k), q(v, k, j), wkk)
+					})
+				}
+			}
+			rc.Pool.parallel(interior)
+
+		case semiring.KindD:
+			// D(X_ij, U_ik, V_kj, W_kk) ∀i,j. (Fig. 4 prints the second
+			// operand as X_ik; that is a typo for U_ik — with X_ik the
+			// update would read the output tile's own column, which is
+			// only correct for kind C.)
+			wkk := q(w, k, k)
+			var interior []func()
+			for i := 0; i < r; i++ {
+				for j := 0; j < r; j++ {
+					i, j := i, j
+					interior = append(interior, func() {
+						rc.Run(semiring.KindD, q(x, i, j), q(u, i, k), q(v, k, j), wkk)
+					})
+				}
+			}
+			rc.Pool.parallel(interior)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package mpifw
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/graph"
+	"dpspark/internal/simtime"
+)
+
+func TestSolveMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	g := graph.Random(40, 0.2, 1, 9, rng)
+	for _, cfg := range []Config{
+		{BlockSize: 8},
+		{BlockSize: 10, Recursive: true, RShared: 2, Base: 5, Threads: 2},
+	} {
+		got, modelTime, err := Solve(cluster.Skylake16(), g.DistanceMatrix(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if modelTime <= 0 {
+			t.Fatal("no modelled time")
+		}
+		if diff := got.MaxAbsDiff(g.APSPReference()); diff > 1e-9 {
+			t.Fatalf("diff %v", diff)
+		}
+	}
+}
+
+func TestBlockSizeRequired(t *testing.T) {
+	if _, _, err := Solve(cluster.Skylake16(), graph.New(4).DistanceMatrix(), Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestModelScalesWithNodes: more ranks reduce the modelled time (strong
+// scaling of the BSP solver at fixed problem size).
+func TestModelScalesWithNodes(t *testing.T) {
+	cfg := Config{BlockSize: 512, Recursive: true, RShared: 4, Threads: 8}
+	t16 := ModelTime(cluster.Skylake16(), 16384, cfg)
+	t64 := ModelTime(cluster.Skylake16().WithNodes(64), 16384, cfg)
+	if t64 >= t16 {
+		t.Fatalf("64 nodes (%v) should beat 16 (%v)", t64, t16)
+	}
+	if t64 < simtime.Duration(float64(t16)/8) {
+		t.Fatalf("1-D FW cannot scale superlinearly: %v vs %v", t64, t16)
+	}
+}

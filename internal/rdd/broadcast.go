@@ -1,0 +1,59 @@
+package rdd
+
+import (
+	"sync"
+
+	"dpspark/internal/simtime"
+)
+
+// Broadcast distributes driver-held items to the executors through the
+// shared persistent filesystem — the mechanism of the Collect-Broadcast
+// driver (Listing 2): the driver collects blocks and writes them "tofile";
+// each executor then reads the file once per stage it needs it in.
+//
+// Creating a Broadcast charges the driver-side shared-storage write.
+// Get charges the shared-storage read the first time each (executor,
+// stage) touches the handle, matching per-executor broadcast fetches.
+type Broadcast[T any] struct {
+	ctx   *Context
+	items []T
+	bytes int64
+
+	mu      sync.Mutex
+	fetched map[[2]int]bool // (node, stage) → already read
+}
+
+// NewBroadcast stages items on the shared filesystem.
+func NewBroadcast[T any](ctx *Context, items []T) *Broadcast[T] {
+	var bytes int64
+	for _, it := range items {
+		bytes += ctx.sizer(it)
+	}
+	ctx.AdvanceDriver(ctx.model.SharedWriteTime(bytes), simtime.SharedFS)
+	ctx.Ledger().AddBytes(simtime.SharedFS, bytes)
+	return &Broadcast[T]{
+		ctx:     ctx,
+		items:   items,
+		bytes:   bytes,
+		fetched: make(map[[2]int]bool),
+	}
+}
+
+// Get returns the broadcast items inside a task, charging the executor's
+// shared-filesystem fetch on first access per (node, stage).
+func (b *Broadcast[T]) Get(tc *TaskContext) []T {
+	key := [2]int{tc.Node, tc.StageID}
+	b.mu.Lock()
+	first := !b.fetched[key]
+	if first {
+		b.fetched[key] = true
+	}
+	b.mu.Unlock()
+	if first {
+		tc.ChargeSharedRead(b.bytes)
+	}
+	return b.items
+}
+
+// Bytes returns the staged payload size.
+func (b *Broadcast[T]) Bytes() int64 { return b.bytes }

@@ -1,0 +1,328 @@
+package rdd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/costmodel"
+	"dpspark/internal/sim"
+	"dpspark/internal/simtime"
+)
+
+// Conf configures an engine context — the spark-submit settings of the
+// paper's experiments.
+type Conf struct {
+	// Cluster describes the (simulated) hardware. Required.
+	Cluster *cluster.Cluster
+	// Params overrides the cost-model calibration; nil uses defaults.
+	Params *costmodel.Params
+	// ExecutorCores is the number of concurrent task slots per executor
+	// (spark.executor.cores). Default: all physical cores per node.
+	ExecutorCores int
+	// RealParallelism bounds the goroutines that actually execute tasks
+	// in this process. Default: runtime.NumCPU().
+	RealParallelism int
+	// Sizer prices records for traffic accounting. Default: DefaultSizer.
+	Sizer Sizer
+	// KeepShuffles is how many most-recent shuffles stay staged before
+	// the engine emulates Spark's shuffle cleanup (old generations are
+	// deleted from the local disks). Default: 8.
+	KeepShuffles int
+	// FaultInjector, when set, is consulted before each task attempt;
+	// returning true makes that attempt fail (for resilience testing).
+	// Failed tasks are retried like Spark's, up to MaxTaskAttempts.
+	FaultInjector func(stageID, partition, attempt int) bool
+	// MaxTaskAttempts bounds task retries (default 4, Spark's
+	// spark.task.maxFailures).
+	MaxTaskAttempts int
+}
+
+// Context is the engine's driver: it owns the lineage graph, the shuffle
+// store, the virtual clock and the failure state. It corresponds to a
+// SparkContext.
+type Context struct {
+	conf  Conf
+	model *costmodel.Model
+	simul *sim.Sim
+	sizer Sizer
+
+	mu          sync.Mutex
+	nextDataset int
+	nextShuffle int
+	nextStage   int
+	shuffles    map[int]*shuffleState
+	shuffleLog  []int
+	memUsed     []int64
+	memErr      error
+	taskErr     error
+	events      []StageEvent
+}
+
+// shuffleState is a materialized shuffle, indexed by reduce partition.
+type shuffleState struct {
+	dep         *shuffleDep
+	byReduce    [][]bucketRef
+	spillByNode []int64
+	done        bool
+	retired     bool
+}
+
+// NewContext creates an engine context.
+func NewContext(conf Conf) *Context {
+	if conf.Cluster == nil {
+		panic("rdd: Conf.Cluster is required")
+	}
+	if conf.ExecutorCores <= 0 {
+		conf.ExecutorCores = conf.Cluster.Node.Cores
+	}
+	if conf.RealParallelism <= 0 {
+		conf.RealParallelism = runtime.NumCPU()
+	}
+	if conf.Sizer == nil {
+		conf.Sizer = DefaultSizer
+	}
+	if conf.KeepShuffles <= 0 {
+		conf.KeepShuffles = 8
+	}
+	if conf.MaxTaskAttempts <= 0 {
+		conf.MaxTaskAttempts = 4
+	}
+	m := costmodel.New(conf.Cluster)
+	if conf.Params != nil {
+		m.P = *conf.Params
+	}
+	return &Context{
+		conf:     conf,
+		model:    m,
+		simul:    sim.New(m, conf.ExecutorCores),
+		sizer:    conf.Sizer,
+		shuffles: make(map[int]*shuffleState),
+		memUsed:  make([]int64, conf.Cluster.Nodes),
+	}
+}
+
+// Model returns the cost model (map functions price kernels against it).
+func (c *Context) Model() *costmodel.Model { return c.model }
+
+// Cluster returns the cluster spec.
+func (c *Context) Cluster() *cluster.Cluster { return c.conf.Cluster }
+
+// ExecutorCores returns the per-executor task-slot setting.
+func (c *Context) ExecutorCores() int { return c.conf.ExecutorCores }
+
+// Clock returns the job's virtual time so far.
+func (c *Context) Clock() simtime.Duration { return c.simul.Clock }
+
+// Ledger returns the virtual resource-time ledger.
+func (c *Context) Ledger() *simtime.Ledger { return c.simul.Ledger }
+
+// TimedOut reports whether the virtual clock passed the 8-hour bound.
+func (c *Context) TimedOut() bool { return c.simul.TimedOut() }
+
+// Err returns the first failure (staging disk full, executor memory
+// exceeded), if any.
+func (c *Context) Err() error {
+	c.mu.Lock()
+	memErr, taskErr := c.memErr, c.taskErr
+	c.mu.Unlock()
+	if taskErr != nil {
+		return taskErr
+	}
+	if memErr != nil {
+		return memErr
+	}
+	return c.simul.Err()
+}
+
+// recordTaskErr keeps the first task failure for the next action to
+// surface.
+func (c *Context) recordTaskErr(err error) {
+	c.mu.Lock()
+	if c.taskErr == nil {
+		c.taskErr = err
+	}
+	c.mu.Unlock()
+}
+
+// AdvanceDriver charges driver-side virtual time (used by broadcast and
+// the drivers' per-iteration bookkeeping).
+func (c *Context) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
+	c.simul.AdvanceDriver(d, cat)
+}
+
+// nodeOf places a partition on an executor.
+func (c *Context) nodeOf(split int) int {
+	n := split % c.conf.Cluster.Nodes
+	if n < 0 {
+		n += c.conf.Cluster.Nodes
+	}
+	return n
+}
+
+// chargeCacheMemory accounts cached records against executor memory.
+func (c *Context) chargeCacheMemory(node int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memUsed[node] += bytes
+	if c.memErr == nil && c.memUsed[node] > c.conf.Cluster.ExecutorMemBytes {
+		c.memErr = fmt.Errorf("rdd: executor memory exceeded on node %d: %d cached bytes > %d budget",
+			node, c.memUsed[node], c.conf.Cluster.ExecutorMemBytes)
+	}
+}
+
+// releaseCacheMemory returns cached bytes to the executor budget.
+func (c *Context) releaseCacheMemory(node int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memUsed[node] -= bytes
+	if c.memUsed[node] < 0 {
+		c.memUsed[node] = 0
+	}
+}
+
+// runStage executes one stage: `parts` tasks running `work`, really (in
+// parallel goroutines) and virtually (through the cluster simulator).
+func (c *Context) runStage(kind StageKind, shuffleID, parts int, work func(tc *TaskContext, split int)) {
+	c.mu.Lock()
+	stageID := c.nextStage
+	c.nextStage++
+	c.mu.Unlock()
+
+	tcs := make([]*TaskContext, parts)
+	// runOne executes one task with Spark-style retries: an injected
+	// fault or a panic fails the attempt; the task restarts from its
+	// lineage (a fresh TaskContext — charges of failed attempts still
+	// cost virtual time, accumulated via lostCompute).
+	runOne := func(split int) {
+		var lost simtime.Duration
+		for attempt := 0; attempt < c.conf.MaxTaskAttempts; attempt++ {
+			tc := &TaskContext{
+				StageID:   stageID,
+				Partition: split,
+				Node:      c.nodeOf(split),
+				ctx:       c,
+			}
+			tcs[split] = tc
+			err := func() (err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("rdd: task %d of stage %d failed (attempt %d): %v",
+							split, stageID, attempt+1, p)
+					}
+				}()
+				if c.conf.FaultInjector != nil && c.conf.FaultInjector(stageID, split, attempt) {
+					return fmt.Errorf("rdd: task %d of stage %d killed by fault injector (attempt %d)",
+						split, stageID, attempt+1)
+				}
+				work(tc, split)
+				return nil
+			}()
+			if err == nil {
+				tc.compute += lost // failed attempts' work is not free
+				return
+			}
+			lost += tc.compute
+			if attempt == c.conf.MaxTaskAttempts-1 {
+				c.recordTaskErr(err)
+			}
+		}
+	}
+
+	workers := c.conf.RealParallelism
+	if workers > parts {
+		workers = parts
+	}
+	if workers <= 1 {
+		for split := 0; split < parts; split++ {
+			runOne(split)
+		}
+	} else {
+		var wg sync.WaitGroup
+		splits := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for split := range splits {
+					runOne(split)
+				}
+			}()
+		}
+		for split := 0; split < parts; split++ {
+			splits <- split
+		}
+		close(splits)
+		wg.Wait()
+	}
+
+	start := c.simul.Clock
+	var spill, fetch int64
+	tasks := make([]sim.Task, parts)
+	for i, tc := range tcs {
+		spill += tc.spill
+		fetch += tc.fetchLocal + tc.fetchRemote
+		tasks[i] = sim.Task{
+			Node:        tc.Node,
+			Compute:     tc.compute,
+			Threads:     tc.Threads(),
+			IdleThreads: tc.idleThreads,
+			FetchLocal:  tc.fetchLocal,
+			FetchRemote: tc.fetchRemote,
+			Spill:       tc.spill,
+			SharedRead:  tc.sharedRead,
+			SharedWrite: tc.sharedWrite,
+		}
+	}
+	dur := c.simul.RunStage(tasks)
+	c.appendEvent(StageEvent{
+		StageID:    stageID,
+		Kind:       kind,
+		Tasks:      parts,
+		ShuffleID:  shuffleID,
+		Start:      start,
+		Duration:   dur,
+		SpillBytes: spill,
+		FetchBytes: fetch,
+	})
+}
+
+// ensureUpstream materializes every shuffle the dataset's lineage needs,
+// parents first. Traversal stops at fully cached datasets and at already
+// materialized shuffles — exactly Spark's stage-skipping behaviour.
+func (c *Context) ensureUpstream(ds *dataset, visited map[*dataset]bool) {
+	if visited[ds] {
+		return
+	}
+	visited[ds] = true
+	if ds.fullyCached() {
+		return
+	}
+	if ds.shuffle != nil {
+		sd := ds.shuffle
+		c.mu.Lock()
+		st := c.shuffles[sd.id]
+		c.mu.Unlock()
+		if st != nil && st.done {
+			return
+		}
+		c.ensureUpstream(sd.parent, visited)
+		c.runMapStage(sd)
+		return
+	}
+	for _, p := range ds.deps {
+		c.ensureUpstream(p, visited)
+	}
+}
+
+// runJob computes every partition of ds and returns the records.
+func (c *Context) runJob(ds *dataset) [][]Record {
+	c.simul.AdvanceDriver(c.model.JobOverhead(), simtime.Overhead)
+	c.ensureUpstream(ds, make(map[*dataset]bool))
+	out := make([][]Record, ds.parts)
+	c.runStage(StageResult, -1, ds.parts, func(tc *TaskContext, split int) {
+		out[split] = c.iterate(ds, split, tc)
+	})
+	return out
+}

@@ -1,0 +1,127 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Record is the engine's untyped record; the generic RDD[T] layer wraps it.
+type Record = any
+
+// keyedRecord is a shuffled record: extracted key plus payload (the raw
+// value for PartitionBy, a combiner for CombineByKey).
+type keyedRecord struct {
+	key any
+	val any
+}
+
+// dataset is the untyped lineage node behind every RDD[T]. Exactly one of
+// source, narrow or shuffle is set:
+//
+//   - source: driver-parallelized records, pre-split into partitions;
+//   - narrow: computed per-partition from parent datasets without data
+//     movement (map, filter, flatMap, mapPartitions, union);
+//   - shuffle: read from a shuffle's reduce-side buckets (the output of
+//     PartitionBy / CombineByKey — a wide dependency).
+type dataset struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+	// part is the dataset's partitioner, nil if unknown. Narrow
+	// transformations that cannot change keys preserve it (filter,
+	// mapValues, partitioner-aware union); map/flatMap clear it.
+	part Partitioner
+
+	source  [][]Record
+	narrow  func(tc *TaskContext, split int) []Record
+	shuffle *shuffleDep
+
+	// deps are narrow parents (stage building walks through them).
+	deps []*dataset
+
+	cacheOn bool
+	mu      sync.Mutex
+	cached  map[int][]Record
+}
+
+// shuffleDep is a wide dependency: the parent's records are keyed,
+// optionally map-side combined, partitioned by part and staged; the child
+// reads the reduce-side buckets.
+type shuffleDep struct {
+	id     int
+	parent *dataset
+	part   Partitioner
+	// rebuild turns (key, payload) back into a typed record.
+	rebuild func(key, val any) Record
+	// Combiner hooks; nil for plain PartitionBy.
+	create     func(v any) any
+	mergeValue func(c, v any) any
+	mergeComb  func(a, b any) any
+}
+
+func (sd *shuffleDep) combining() bool { return sd.create != nil }
+
+// newDataset registers a lineage node with the context.
+func (c *Context) newDataset(name string, parts int, part Partitioner) *dataset {
+	if parts < 1 {
+		panic(fmt.Sprintf("rdd: dataset %q needs ≥1 partitions", name))
+	}
+	c.mu.Lock()
+	id := c.nextDataset
+	c.nextDataset++
+	c.mu.Unlock()
+	return &dataset{ctx: c, id: id, name: name, parts: parts, part: part}
+}
+
+// iterate computes one partition of the dataset within a running task.
+func (c *Context) iterate(ds *dataset, split int, tc *TaskContext) []Record {
+	if split < 0 || split >= ds.parts {
+		panic(fmt.Sprintf("rdd: partition %d outside dataset %q (%d partitions)", split, ds.name, ds.parts))
+	}
+	if ds.cacheOn {
+		ds.mu.Lock()
+		recs, ok := ds.cached[split]
+		ds.mu.Unlock()
+		if ok {
+			return recs
+		}
+	}
+	var recs []Record
+	switch {
+	case ds.source != nil:
+		recs = ds.source[split]
+	case ds.shuffle != nil:
+		recs = c.readShuffle(ds.shuffle, split, tc)
+	case ds.narrow != nil:
+		recs = ds.narrow(tc, split)
+	default:
+		panic(fmt.Sprintf("rdd: dataset %q has no compute", ds.name))
+	}
+	if ds.cacheOn {
+		var bytes int64
+		for _, r := range recs {
+			bytes += c.sizer(r)
+		}
+		ds.mu.Lock()
+		_, dup := ds.cached[split]
+		if !dup {
+			ds.cached[split] = recs
+		}
+		ds.mu.Unlock()
+		if !dup {
+			c.chargeCacheMemory(c.nodeOf(split), bytes)
+		}
+	}
+	return recs
+}
+
+// fullyCached reports whether every partition is materialized in cache.
+func (ds *dataset) fullyCached() bool {
+	if !ds.cacheOn {
+		return false
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.cached) == ds.parts
+}

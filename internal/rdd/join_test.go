@@ -1,0 +1,70 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCoGroup(t *testing.T) {
+	ctx := testCtx()
+	part := NewHashPartitioner(3)
+	left := Parallelize(ctx, []Pair[string, int]{KV("a", 1), KV("a", 2), KV("b", 3)}, 2)
+	right := Parallelize(ctx, []Pair[string, string]{KV("a", "x"), KV("c", "y")}, 2)
+	g, err := CollectMap(CoGroup(left, right, part))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(g["a"].Left)
+	if len(g) != 3 {
+		t.Fatalf("keys = %d", len(g))
+	}
+	if len(g["a"].Left) != 2 || g["a"].Left[0] != 1 || len(g["a"].Right) != 1 || g["a"].Right[0] != "x" {
+		t.Fatalf(`g["a"] = %+v`, g["a"])
+	}
+	if len(g["b"].Left) != 1 || len(g["b"].Right) != 0 {
+		t.Fatalf(`g["b"] = %+v`, g["b"])
+	}
+	if len(g["c"].Left) != 0 || len(g["c"].Right) != 1 {
+		t.Fatalf(`g["c"] = %+v`, g["c"])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := testCtx()
+	part := NewHashPartitioner(2)
+	left := Parallelize(ctx, []Pair[int, string]{KV(1, "a"), KV(1, "b"), KV(2, "c")}, 2)
+	right := Parallelize(ctx, []Pair[int, int]{KV(1, 10), KV(1, 20), KV(3, 30)}, 1)
+	joined, err := Join(left, right, part).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: 2 left × 2 right = 4 matches; keys 2, 3 unmatched.
+	if len(joined) != 4 {
+		t.Fatalf("join produced %d rows: %v", len(joined), joined)
+	}
+	for _, row := range joined {
+		if row.Key != 1 {
+			t.Fatalf("unexpected key %d", row.Key)
+		}
+		if row.Value.Left != "a" && row.Value.Left != "b" {
+			t.Fatalf("bad left %q", row.Value.Left)
+		}
+		if row.Value.Right != 10 && row.Value.Right != 20 {
+			t.Fatalf("bad right %d", row.Value.Right)
+		}
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	ctx := testCtx()
+	part := NewHashPartitioner(2)
+	left := Parallelize(ctx, []Pair[int, int]{KV(1, 1)}, 1)
+	right := Parallelize(ctx, []Pair[int, int]{KV(2, 2)}, 1)
+	joined, err := Join(left, right, part).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 0 {
+		t.Fatalf("disjoint keys must join empty, got %v", joined)
+	}
+}

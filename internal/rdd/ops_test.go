@@ -1,0 +1,85 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDistinct(t *testing.T) {
+	ctx := testCtx()
+	in := []int{1, 2, 2, 3, 3, 3, 1}
+	got := sortedCollect(t, Distinct(Parallelize(ctx, in, 3), NewHashPartitioner(2)),
+		func(a, b int) bool { return a < b })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(2000), 4)
+	a, err := Sample(r, 0.25, 42).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(r, 0.25, 42).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed must sample identically: %d vs %d", len(a), len(b))
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must sample identical records")
+		}
+	}
+	if len(a) < 350 || len(a) > 650 {
+		t.Fatalf("25%% of 2000 ≈ 500, got %d", len(a))
+	}
+	c, err := Sample(r, 0.25, 43).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(c)
+	same := len(c) == len(a)
+	if same {
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSampleFractionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sample(Parallelize(testCtx(), ints(4), 1), 1.5, 1)
+}
+
+func TestTakeAndReduce(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, ints(10), 3)
+	got, err := r.Take(4)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("take = %v, %v", got, err)
+	}
+	sum, err := Reduce(r, func(a, b int) int { return a + b })
+	if err != nil || sum != 45 {
+		t.Fatalf("reduce = %d, %v", sum, err)
+	}
+	empty := Parallelize(ctx, []int{}, 1)
+	if _, err := Reduce(empty, func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("empty reduce must error")
+	}
+}

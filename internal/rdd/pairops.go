@@ -1,0 +1,116 @@
+package rdd
+
+// Pair-RDD operations. These mirror the PySpark calls of the paper's
+// Listings 1–2: partitionBy, combineByKey, mapValues, plus the usual
+// conveniences built on them.
+
+// MapValues transforms values while provably keeping keys, so the
+// partitioner is preserved (narrow, like Spark's mapValues).
+func MapValues[K comparable, V, W any](r *RDD[Pair[K, V]], f func(tc *TaskContext, key K, v V) W) *RDD[Pair[K, W]] {
+	parent := r.ds
+	ctx := r.ds.ctx
+	ds := ctx.newDataset("mapValues<-"+parent.name, parent.parts, parent.part)
+	ds.deps = []*dataset{parent}
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		in := ctx.iterate(parent, split, tc)
+		out := make([]Record, len(in))
+		for i, rec := range in {
+			p := rec.(Pair[K, V])
+			out[i] = Pair[K, W]{Key: p.Key, Value: f(tc, p.Key, p.Value)}
+		}
+		return out
+	}
+	return &RDD[Pair[K, W]]{ds: ds}
+}
+
+// PartitionBy redistributes the records according to part. If the RDD is
+// already partitioned by an equal partitioner this is a no-op (Spark
+// skips the shuffle); otherwise it is a wide transformation.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], part Partitioner) *RDD[Pair[K, V]] {
+	if r.ds.part != nil && r.ds.part.Equal(part) {
+		return r
+	}
+	ctx := r.ds.ctx
+	sd := ctx.newShuffleDep(r.ds, part,
+		func(key, val any) Record { return Pair[K, V]{Key: key.(K), Value: val.(V)} },
+		nil, nil, nil)
+	ds := ctx.newDataset("partitionBy<-"+r.ds.name, part.NumPartitions(), part)
+	ds.shuffle = sd
+	return &RDD[Pair[K, V]]{ds: ds}
+}
+
+// CombineByKey aggregates values per key into combiners of type C with
+// map-side combining, shuffling by part — Spark's combineByKey, the wide
+// transformation at the heart of the IM driver (Listing 1). If the RDD is
+// already partitioned by an equal partitioner the aggregation happens
+// in place without a shuffle (narrow), as Spark does.
+func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
+	create func(V) C, mergeValue func(C, V) C, mergeCombiners func(C, C) C,
+	part Partitioner) *RDD[Pair[K, C]] {
+
+	ctx := r.ds.ctx
+	if r.ds.part != nil && r.ds.part.Equal(part) {
+		// Co-partitioned: combine within each partition, no data movement.
+		parent := r.ds
+		ds := ctx.newDataset("combineByKey(narrow)<-"+parent.name, parent.parts, parent.part)
+		ds.deps = []*dataset{parent}
+		ds.narrow = func(tc *TaskContext, split int) []Record {
+			in := ctx.iterate(parent, split, tc)
+			combiners := make(map[K]C, len(in))
+			var order []K
+			for _, rec := range in {
+				p := rec.(Pair[K, V])
+				if comb, seen := combiners[p.Key]; seen {
+					combiners[p.Key] = mergeValue(comb, p.Value)
+				} else {
+					combiners[p.Key] = create(p.Value)
+					order = append(order, p.Key)
+				}
+			}
+			out := make([]Record, 0, len(order))
+			for _, k := range order {
+				out = append(out, Pair[K, C]{Key: k, Value: combiners[k]})
+			}
+			return out
+		}
+		return &RDD[Pair[K, C]]{ds: ds}
+	}
+
+	sd := ctx.newShuffleDep(r.ds, part,
+		func(key, val any) Record { return Pair[K, C]{Key: key.(K), Value: val.(C)} },
+		func(v any) any { return create(v.(V)) },
+		func(c, v any) any { return mergeValue(c.(C), v.(V)) },
+		func(a, b any) any { return mergeCombiners(a.(C), b.(C)) })
+	ds := ctx.newDataset("combineByKey<-"+r.ds.name, part.NumPartitions(), part)
+	ds.shuffle = sd
+	return &RDD[Pair[K, C]]{ds: ds}
+}
+
+// GroupByKey gathers all values per key (combineByKey with slice
+// combiners).
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], part Partitioner) *RDD[Pair[K, []V]] {
+	return CombineByKey(r,
+		func(v V) []V { return []V{v} },
+		func(c []V, v V) []V { return append(c, v) },
+		func(a, b []V) []V { return append(a, b...) },
+		part)
+}
+
+// ReduceByKey merges values per key with an associative, commutative op.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], op func(a, b V) V, part Partitioner) *RDD[Pair[K, V]] {
+	return CombineByKey(r,
+		func(v V) V { return v },
+		op,
+		op,
+		part)
+}
+
+// Keys projects the keys of a pair RDD.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(_ *TaskContext, p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair RDD.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(_ *TaskContext, p Pair[K, V]) V { return p.Value })
+}

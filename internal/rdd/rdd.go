@@ -1,0 +1,237 @@
+package rdd
+
+import "fmt"
+
+// RDD is a typed, lazily evaluated, partitioned distributed dataset —
+// transformations build lineage; actions (Collect, Count) trigger jobs.
+type RDD[T any] struct {
+	ds *dataset
+}
+
+// Name returns the dataset's debug name.
+func (r *RDD[T]) Name() string { return r.ds.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.ds.parts }
+
+// Partitioner returns the dataset's partitioner, or nil if unknown.
+func (r *RDD[T]) Partitioner() Partitioner { return r.ds.part }
+
+// Context returns the owning engine context.
+func (r *RDD[T]) Context() *Context { return r.ds.ctx }
+
+// Cache marks the RDD's partitions for in-memory materialization on first
+// computation (spark .cache()); cached bytes count against executor
+// memory. Returns the receiver for chaining.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.ds.cacheOn = true
+	r.ds.mu.Lock()
+	if r.ds.cached == nil {
+		r.ds.cached = make(map[int][]Record)
+	}
+	r.ds.mu.Unlock()
+	return r
+}
+
+// Checkpoint eagerly materializes the RDD and truncates its lineage: its
+// partitions become stored data, upstream shuffles and parents are
+// released. Iterative drivers checkpoint each generation of the DP table,
+// exactly like the Spark implementations the paper builds on (unbounded
+// lineage would otherwise force every action to replay all earlier
+// generations' shuffle files). The materialization stage is charged like
+// any other.
+func (r *RDD[T]) Checkpoint() error {
+	ctx := r.ds.ctx
+	data := ctx.runJob(r.ds)
+	r.ds.source = data
+	r.ds.narrow = nil
+	r.ds.shuffle = nil
+	r.ds.deps = nil
+	return ctx.Err()
+}
+
+// Unpersist drops cached partitions and returns their memory.
+func (r *RDD[T]) Unpersist() {
+	ds := r.ds
+	ds.mu.Lock()
+	freed := make(map[int]int64)
+	for split, recs := range ds.cached {
+		var b int64
+		for _, rec := range recs {
+			b += ds.ctx.sizer(rec)
+		}
+		freed[split] = b
+	}
+	ds.cached = make(map[int][]Record)
+	ds.cacheOn = false
+	ds.mu.Unlock()
+	for split, b := range freed {
+		ds.ctx.releaseCacheMemory(ds.ctx.nodeOf(split), b)
+	}
+}
+
+// Parallelize distributes records across parts partitions (round-robin,
+// like sc.parallelize on an unkeyed collection).
+func Parallelize[T any](c *Context, recs []T, parts int) *RDD[T] {
+	if parts < 1 {
+		panic("rdd: Parallelize needs ≥1 partitions")
+	}
+	ds := c.newDataset(fmt.Sprintf("parallelize[%d]", len(recs)), parts, nil)
+	src := make([][]Record, parts)
+	for i, rec := range recs {
+		p := i % parts
+		src[p] = append(src[p], rec)
+	}
+	ds.source = src
+	return &RDD[T]{ds: ds}
+}
+
+// ParallelizePairs distributes key-value records into the partitions the
+// given partitioner assigns, yielding a co-partitioned pair RDD (like
+// sc.parallelize(...).partitionBy(p) without the extra shuffle).
+func ParallelizePairs[K comparable, V any](c *Context, recs []Pair[K, V], part Partitioner) *RDD[Pair[K, V]] {
+	p := part.NumPartitions()
+	ds := c.newDataset(fmt.Sprintf("parallelizePairs[%d]", len(recs)), p, part)
+	src := make([][]Record, p)
+	for _, rec := range recs {
+		b := part.Partition(rec.Key)
+		src[b] = append(src[b], rec)
+	}
+	ds.source = src
+	return &RDD[Pair[K, V]]{ds: ds}
+}
+
+// Filter returns the records satisfying pred. Narrow; preserves the
+// partitioner (keys are untouched).
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	parent := r.ds
+	ds := r.ds.ctx.newDataset("filter<-"+parent.name, parent.parts, parent.part)
+	ds.deps = []*dataset{parent}
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		in := r.ds.ctx.iterate(parent, split, tc)
+		var out []Record
+		for _, rec := range in {
+			if pred(rec.(T)) {
+				out = append(out, rec)
+			}
+		}
+		return out
+	}
+	return &RDD[T]{ds: ds}
+}
+
+// Map applies f to every record. Narrow; clears the partitioner (keys may
+// change). f receives the TaskContext to charge modelled kernel time.
+func Map[T, U any](r *RDD[T], f func(tc *TaskContext, rec T) U) *RDD[U] {
+	parent := r.ds
+	ds := r.ds.ctx.newDataset("map<-"+parent.name, parent.parts, nil)
+	ds.deps = []*dataset{parent}
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		in := r.ds.ctx.iterate(parent, split, tc)
+		out := make([]Record, len(in))
+		for i, rec := range in {
+			out[i] = f(tc, rec.(T))
+		}
+		return out
+	}
+	return &RDD[U]{ds: ds}
+}
+
+// FlatMap applies f to every record and concatenates the results.
+// Narrow; clears the partitioner.
+func FlatMap[T, U any](r *RDD[T], f func(tc *TaskContext, rec T) []U) *RDD[U] {
+	parent := r.ds
+	ds := r.ds.ctx.newDataset("flatMap<-"+parent.name, parent.parts, nil)
+	ds.deps = []*dataset{parent}
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		in := r.ds.ctx.iterate(parent, split, tc)
+		var out []Record
+		for _, rec := range in {
+			for _, u := range f(tc, rec.(T)) {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	return &RDD[U]{ds: ds}
+}
+
+// MapPartitions applies f to each whole partition. preservesPartitioning
+// keeps the input partitioner (assert keys unchanged), as in Spark.
+func MapPartitions[T, U any](r *RDD[T], f func(tc *TaskContext, recs []T) []U, preservesPartitioning bool) *RDD[U] {
+	parent := r.ds
+	var part Partitioner
+	if preservesPartitioning {
+		part = parent.part
+	}
+	ds := r.ds.ctx.newDataset("mapPartitions<-"+parent.name, parent.parts, part)
+	ds.deps = []*dataset{parent}
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		in := r.ds.ctx.iterate(parent, split, tc)
+		typed := make([]T, len(in))
+		for i, rec := range in {
+			typed[i] = rec.(T)
+		}
+		us := f(tc, typed)
+		out := make([]Record, len(us))
+		for i, u := range us {
+			out[i] = u
+		}
+		return out
+	}
+	return &RDD[U]{ds: ds}
+}
+
+// Union concatenates RDDs of the same type. When every input shares one
+// equal partitioner, the engine builds a partitioner-aware union (same
+// partition count, co-located merge — no shuffle needed downstream);
+// otherwise the result has the summed partitions and no partitioner.
+func (r *RDD[T]) Union(others ...*RDD[T]) *RDD[T] {
+	all := append([]*RDD[T]{r}, others...)
+	ctx := r.ds.ctx
+	deps := make([]*dataset, len(all))
+	for i, rr := range all {
+		if rr.ds.ctx != ctx {
+			panic("rdd: Union across contexts")
+		}
+		deps[i] = rr.ds
+	}
+
+	aware := r.ds.part != nil
+	for _, rr := range all[1:] {
+		if rr.ds.part == nil || !rr.ds.part.Equal(r.ds.part) {
+			aware = false
+			break
+		}
+	}
+
+	if aware {
+		ds := ctx.newDataset(fmt.Sprintf("paUnion[%d]", len(all)), r.ds.parts, r.ds.part)
+		ds.deps = deps
+		ds.narrow = func(tc *TaskContext, split int) []Record {
+			var out []Record
+			for _, p := range deps {
+				out = append(out, ctx.iterate(p, split, tc)...)
+			}
+			return out
+		}
+		return &RDD[T]{ds: ds}
+	}
+
+	total := 0
+	for _, p := range deps {
+		total += p.parts
+	}
+	ds := ctx.newDataset(fmt.Sprintf("union[%d]", len(all)), total, nil)
+	ds.deps = deps
+	ds.narrow = func(tc *TaskContext, split int) []Record {
+		for _, p := range deps {
+			if split < p.parts {
+				return ctx.iterate(p, split, tc)
+			}
+			split -= p.parts
+		}
+		panic("rdd: union split out of range")
+	}
+	return &RDD[T]{ds: ds}
+}

@@ -1,0 +1,61 @@
+package rdd
+
+import "dpspark/internal/matrix"
+
+// Pair is a key-value record; RDDs of Pair support the pair-RDD
+// operations (PartitionBy, CombineByKey, MapValues, ...). The paper's DP
+// table is a pair RDD from tile coordinate (i,j) to the tile (§IV-C).
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// KV constructs a pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Value: v} }
+
+// pairLike lets the untyped engine reach into any Pair instantiation
+// (key extraction for shuffles, payload sizing for traffic accounting).
+type pairLike interface {
+	pairKey() any
+	pairValue() any
+}
+
+func (p Pair[K, V]) pairKey() any   { return p.Key }
+func (p Pair[K, V]) pairValue() any { return p.Value }
+
+// Sizer estimates a record's serialized size in bytes, for shuffle,
+// collect and broadcast traffic accounting.
+type Sizer func(rec any) int64
+
+// DefaultSizer prices tiles by payload, coordinates and scalars by a
+// small fixed size, and unknown records conservatively.
+func DefaultSizer(rec any) int64 {
+	if p, ok := rec.(pairLike); ok {
+		return DefaultSizer(p.pairKey()) + DefaultSizer(p.pairValue())
+	}
+	switch v := rec.(type) {
+	case *matrix.Tile:
+		if v == nil {
+			return 0
+		}
+		return v.Bytes()
+	case matrix.Coord:
+		return 16
+	case nil:
+		return 0
+	case int, int64, float64, uint64:
+		return 8
+	case string:
+		return int64(len(v))
+	case sized:
+		return v.SizeBytes()
+	default:
+		return 64
+	}
+}
+
+// sized lets record types report their own serialized size (e.g. the GEP
+// drivers' tagged tile messages).
+type sized interface {
+	SizeBytes() int64
+}

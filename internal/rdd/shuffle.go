@@ -1,0 +1,207 @@
+package rdd
+
+import "fmt"
+
+// newShuffleDep registers a shuffle dependency.
+func (c *Context) newShuffleDep(parent *dataset, part Partitioner,
+	rebuild func(key, val any) Record,
+	create func(v any) any, mergeValue, mergeComb func(a, b any) any) *shuffleDep {
+	c.mu.Lock()
+	id := c.nextShuffle
+	c.nextShuffle++
+	c.mu.Unlock()
+	return &shuffleDep{
+		id:         id,
+		parent:     parent,
+		part:       part,
+		rebuild:    rebuild,
+		create:     create,
+		mergeValue: mergeValue,
+		mergeComb:  mergeComb,
+	}
+}
+
+// bucketRef is one map task's contribution to one reduce partition.
+type bucketRef struct {
+	mapPart int
+	recs    []keyedRecord
+	bytes   int64
+}
+
+// runMapStage executes the map side of a shuffle: one task per parent
+// partition computes the parent's records, keys them, optionally combines
+// map-side, buckets them by the target partitioner and stages the buckets
+// on the task's local disk (tc.spill). Buckets are indexed by reduce
+// partition (sparsely — most of the grid's partitions are empty in any
+// one stage) so reduce tasks only touch data that exists. Afterwards old
+// shuffle generations are retired, emulating Spark's shuffle cleanup.
+func (c *Context) runMapStage(sd *shuffleDep) {
+	mapParts := sd.parent.parts
+	p := sd.part.NumPartitions()
+	perSplit := make([]map[int][]keyedRecord, mapParts)
+	spillBySplit := make([]int64, mapParts)
+
+	c.runStage(StageShuffleMap, sd.id, mapParts, func(tc *TaskContext, split int) {
+		recs := c.iterate(sd.parent, split, tc)
+		if len(recs) == 0 {
+			return
+		}
+		buckets := make(map[int][]keyedRecord)
+		var spill int64
+
+		emit := func(k, v any) {
+			b := sd.part.Partition(k)
+			buckets[b] = append(buckets[b], keyedRecord{key: k, val: v})
+			spill += c.sizer(k) + c.sizer(v)
+		}
+		if sd.combining() {
+			// Map-side combine: per-key combiners in input order.
+			combiners := make(map[any]any, len(recs))
+			var order []any
+			for _, r := range recs {
+				pr, ok := r.(pairLike)
+				if !ok {
+					panic(fmt.Sprintf("rdd: shuffle over non-pair record %T", r))
+				}
+				k, v := pr.pairKey(), pr.pairValue()
+				if comb, seen := combiners[k]; seen {
+					combiners[k] = sd.mergeValue(comb, v)
+				} else {
+					combiners[k] = sd.create(v)
+					order = append(order, k)
+				}
+			}
+			for _, k := range order {
+				emit(k, combiners[k])
+			}
+		} else {
+			for _, r := range recs {
+				pr, ok := r.(pairLike)
+				if !ok {
+					panic(fmt.Sprintf("rdd: shuffle over non-pair record %T", r))
+				}
+				emit(pr.pairKey(), pr.pairValue())
+			}
+		}
+
+		tc.spill += spill
+		perSplit[split] = buckets
+		spillBySplit[split] = spill
+	})
+
+	st := &shuffleState{
+		dep:         sd,
+		byReduce:    make([][]bucketRef, p),
+		spillByNode: make([]int64, c.conf.Cluster.Nodes),
+	}
+	for split, buckets := range perSplit {
+		st.spillByNode[c.nodeOf(split)] += spillBySplit[split]
+		for b, recs := range buckets {
+			var bytes int64
+			for _, kr := range recs {
+				bytes += c.sizer(kr.key) + c.sizer(kr.val)
+			}
+			st.byReduce[b] = append(st.byReduce[b], bucketRef{mapPart: split, recs: recs, bytes: bytes})
+		}
+	}
+	// Deterministic reduce-side order: contributions sorted by map task.
+	for _, refs := range st.byReduce {
+		sortBucketRefs(refs)
+	}
+	st.done = true
+	c.mu.Lock()
+	c.shuffles[sd.id] = st
+	c.shuffleLog = append(c.shuffleLog, sd.id)
+	c.mu.Unlock()
+	c.retireOldShuffles()
+}
+
+// sortBucketRefs orders contributions by map partition (insertion is
+// already nearly sorted; simple insertion sort keeps it allocation-free).
+func sortBucketRefs(refs []bucketRef) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].mapPart < refs[j-1].mapPart; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+// readShuffle is the reduce side: fetch this partition's buckets from the
+// map tasks that produced any, charging local-disk vs network traffic by
+// locality, then concatenate (PartitionBy) or merge combiners
+// (CombineByKey).
+func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Record {
+	c.mu.Lock()
+	st := c.shuffles[sd.id]
+	c.mu.Unlock()
+	if st == nil || !st.done {
+		panic(fmt.Sprintf("rdd: shuffle %d read before materialization", sd.id))
+	}
+	if st.retired {
+		panic(fmt.Sprintf("rdd: shuffle %d was retired; raise Conf.KeepShuffles", sd.id))
+	}
+
+	refs := st.byReduce[split]
+	var recs []Record
+	if sd.combining() {
+		combiners := make(map[any]any)
+		var order []any
+		for _, ref := range refs {
+			c.chargeFetch(tc, ref.mapPart, ref.bytes)
+			for _, kr := range ref.recs {
+				if comb, seen := combiners[kr.key]; seen {
+					combiners[kr.key] = sd.mergeComb(comb, kr.val)
+				} else {
+					combiners[kr.key] = kr.val
+					order = append(order, kr.key)
+				}
+			}
+		}
+		recs = make([]Record, 0, len(order))
+		for _, k := range order {
+			recs = append(recs, sd.rebuild(k, combiners[k]))
+		}
+	} else {
+		for _, ref := range refs {
+			c.chargeFetch(tc, ref.mapPart, ref.bytes)
+			for _, kr := range ref.recs {
+				recs = append(recs, sd.rebuild(kr.key, kr.val))
+			}
+		}
+	}
+	return recs
+}
+
+// chargeFetch attributes a bucket read to local disk or the network.
+func (c *Context) chargeFetch(tc *TaskContext, mapPart int, bytes int64) {
+	if bytes == 0 {
+		return
+	}
+	if c.nodeOf(mapPart) == tc.Node {
+		tc.fetchLocal += bytes
+	} else {
+		tc.fetchRemote += bytes
+	}
+}
+
+// retireOldShuffles drops staged data of all but the most recent
+// Conf.KeepShuffles shuffles, freeing simulated disk and real memory.
+func (c *Context) retireOldShuffles() {
+	c.mu.Lock()
+	var toRetire []*shuffleState
+	if n := len(c.shuffleLog) - c.conf.KeepShuffles; n > 0 {
+		for _, id := range c.shuffleLog[:n] {
+			if st := c.shuffles[id]; st != nil && !st.retired {
+				st.retired = true
+				st.byReduce = nil
+				toRetire = append(toRetire, st)
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, st := range toRetire {
+		for node, bytes := range st.spillByNode {
+			c.simul.ReleaseShuffle(node, bytes)
+		}
+	}
+}

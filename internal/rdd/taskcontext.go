@@ -1,0 +1,78 @@
+package rdd
+
+import "dpspark/internal/simtime"
+
+// TaskContext is handed to every task (and through it to user map
+// functions). User code charges modelled compute time and shared-storage
+// traffic on it; the engine itself records shuffle traffic. After the
+// task's real execution, the scheduler turns these charges into a
+// simulated task for the virtual clock.
+type TaskContext struct {
+	// StageID identifies the stage the task belongs to.
+	StageID int
+	// Partition is the task's partition index.
+	Partition int
+	// Node is the executor the task runs on.
+	Node int
+
+	ctx *Context
+
+	compute     simtime.Duration
+	threads     int
+	idleThreads int
+	sharedRead  int64
+	sharedWrite int64
+	fetchLocal  int64
+	fetchRemote int64
+	spill       int64
+}
+
+// Ctx returns the owning engine context (for model/cluster access inside
+// map functions).
+func (tc *TaskContext) Ctx() *Context { return tc.ctx }
+
+// ChargeCompute adds d of modelled compute occupying the given number of
+// worker threads. The task's thread width is the maximum charged.
+func (tc *TaskContext) ChargeCompute(d simtime.Duration, threads int) {
+	if d < 0 {
+		panic("rdd: negative compute charge")
+	}
+	tc.compute += d
+	if threads > tc.threads {
+		tc.threads = threads
+	}
+}
+
+// ChargeIdleThreads records OMP threads the task spawns beyond its
+// kernels' exploitable parallelism; they spin at par_for barriers and
+// contribute node pressure without throughput.
+func (tc *TaskContext) ChargeIdleThreads(n int) {
+	if n > tc.idleThreads {
+		tc.idleThreads = n
+	}
+}
+
+// ChargeSharedRead records bytes read from the shared filesystem.
+func (tc *TaskContext) ChargeSharedRead(bytes int64) {
+	if bytes > 0 {
+		tc.sharedRead += bytes
+	}
+}
+
+// ChargeSharedWrite records bytes written to the shared filesystem.
+func (tc *TaskContext) ChargeSharedWrite(bytes int64) {
+	if bytes > 0 {
+		tc.sharedWrite += bytes
+	}
+}
+
+// Compute returns the modelled compute charged so far.
+func (tc *TaskContext) Compute() simtime.Duration { return tc.compute }
+
+// Threads returns the task's charged thread width (≥1).
+func (tc *TaskContext) Threads() int {
+	if tc.threads < 1 {
+		return 1
+	}
+	return tc.threads
+}

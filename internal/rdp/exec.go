@@ -1,0 +1,83 @@
+package rdp
+
+import (
+	"fmt"
+
+	"dpspark/internal/kernels"
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Execute runs a kind-A schedule (every operand an X-subtile) on a
+// blocked DP table with the given kernel implementation — the symbolic
+// derivation made concrete. Panics if the schedule addresses tiles
+// outside the table's grid or uses non-X operands.
+func Execute(s Schedule, bl *matrix.Blocked, exec kernels.Exec) {
+	tile := func(t Tile) *matrix.Tile {
+		if t.Sub != OpX {
+			panic(fmt.Sprintf("rdp: Execute requires X-space tiles, got %v", t))
+		}
+		return bl.Tile(matrix.Coord{I: t.I, J: t.J})
+	}
+	for _, stage := range s {
+		// Stage members are independent; sequential execution of a stage
+		// is a valid schedule.
+		for _, c := range stage {
+			x := tile(c.X)
+			var u, v, w *matrix.Tile
+			if c.U != c.X {
+				u = tile(c.U)
+			}
+			if c.V != c.X {
+				v = tile(c.V)
+			}
+			if c.W != c.X {
+				w = tile(c.W)
+			}
+			exec.Apply(c.Kind, x, u, v, w)
+		}
+	}
+}
+
+// Validate checks a schedule's internal consistency: within every stage
+// no two calls may conflict (write-write, read-write in either
+// direction). Returns the first violation found.
+func (s Schedule) Validate() error {
+	for si, stage := range s {
+		for i := 0; i < len(stage); i++ {
+			for j := i + 1; j < len(stage); j++ {
+				if stage[j].conflictsWith(stage[i]) {
+					return fmt.Errorf("rdp: stage %d: %v conflicts with %v", si, stage[i], stage[j])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Parallelism returns the average and maximum stage widths — the measure
+// §IV-A optimizes when it moves calls to the earliest stage.
+func (s Schedule) Parallelism() (avg float64, max int) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, stage := range s {
+		total += len(stage)
+		if len(stage) > max {
+			max = len(stage)
+		}
+	}
+	return float64(total) / float64(len(s)), max
+}
+
+// WorkCount returns the modelled element updates of one schedule run on
+// b-sized tiles under the rule — for sanity checks that derivation never
+// changes total work.
+func WorkCount(s Schedule, rule semiring.Rule, b int) int64 {
+	var total int64
+	for _, c := range s.Calls() {
+		total += kernels.Updates(rule, c.Kind, b)
+	}
+	return total
+}

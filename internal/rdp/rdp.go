@@ -1,0 +1,323 @@
+// Package rdp implements the paper's first design methodology (§IV-A):
+// deriving parametric r-way recursive divide-&-conquer DP algorithms by
+// "inline and optimize". Starting from the 2-way R-DP specification (the
+// AutoGen/Bellmania output), each refinement step
+//
+//  1. inlines every recursive call by one level of its 2-way body, and
+//  2. re-schedules the resulting calls into the fewest parallel stages
+//     that respect the paper's dependency rules (for functions F₁ before
+//     F₂ in program order, with W(F) the written subtable and R(F) the
+//     read subtables):
+//     – W(F₁) ≠ W(F₂) ∧ W(F₁) ∈ R(F₂)  ⇒ F₁ → F₂ (true dependence);
+//     – W(F₁) = W(F₂)                   ⇒ ordered, never parallel (the
+//     ↔ rule: flexible updates commute but cannot race);
+//     – W(F₂) ∈ R(F₁)                   ⇒ F₁ → F₂ (anti-dependence:
+//     F₁ must read the old value);
+//     – otherwise                        ⇒ F₁ ∥ F₂.
+//
+// The derived schedules are symbolic (tile-indexed kernel calls grouped
+// into stages) and executable. Tests verify the central claim of §IV-A:
+// refining the 2-way algorithm and re-scheduling yields exactly the
+// parametric Fig. 4 algorithm at r = 4 — and executing any derived
+// schedule with loop kernels reproduces the reference GEP semantics.
+package rdp
+
+import (
+	"fmt"
+	"sort"
+
+	"dpspark/internal/semiring"
+)
+
+// Operand tags the DP subtable a symbolic tile belongs to. A kernel
+// call's X, U, V and W may live in distinct subtables (for the panel and
+// interior kernels); the dependency analysis must never confuse X's
+// (0,0) subtile with U's.
+type Operand uint8
+
+// Operand spaces.
+const (
+	// OpX is the written (in/out) subtable.
+	OpX Operand = iota
+	// OpU is the u-panel operand subtable.
+	OpU
+	// OpV is the v-panel operand subtable.
+	OpV
+	// OpW is the pivot operand subtable.
+	OpW
+)
+
+// Tile addresses a subtile of an operand subtable in the current
+// refinement's grid.
+type Tile struct {
+	Sub  Operand
+	I, J int
+}
+
+// String formats the tile as "X(i,j)" etc.
+func (t Tile) String() string {
+	names := [...]string{"X", "U", "V", "W"}
+	return fmt.Sprintf("%s(%d,%d)", names[t.Sub], t.I, t.J)
+}
+
+// embed maps this local tile (from a 2-way body) into the caller's
+// operand tiles: the body's X-space subtiles refine the caller's X, its
+// U-space the caller's U, and so on.
+func (t Tile) embed(c Call) Tile {
+	var base Tile
+	switch t.Sub {
+	case OpU:
+		base = c.U
+	case OpV:
+		base = c.V
+	case OpW:
+		base = c.W
+	default:
+		base = c.X
+	}
+	return Tile{Sub: base.Sub, I: 2*base.I + t.I, J: 2*base.J + t.J}
+}
+
+// Call is one kernel invocation: Kind's Fig. 4 signature applied to
+// symbolic tiles. X is updated in place; U, V, W are the panel/pivot
+// operands (equal to X where Fig. 4's signature omits them).
+type Call struct {
+	Kind       semiring.Kind
+	X, U, V, W Tile
+}
+
+// String renders the call like Fig. 4.
+func (c Call) String() string {
+	return fmt.Sprintf("%v[%v u=%v v=%v w=%v]", c.Kind, c.X, c.U, c.V, c.W)
+}
+
+// Writes returns the output subtable W(F).
+func (c Call) Writes() Tile { return c.X }
+
+// reads reports whether the call reads tile t (a GEP update always reads
+// the cell it writes, so X counts).
+func (c Call) reads(t Tile) bool {
+	return c.X == t || c.U == t || c.V == t || c.W == t
+}
+
+// conflictsWith reports whether c (later in program order) must run after
+// e (earlier): same output, true dependence, or anti-dependence.
+func (c Call) conflictsWith(e Call) bool {
+	return c.X == e.X || c.reads(e.X) || e.reads(c.X)
+}
+
+// Schedule is a sequence of parallel stages.
+type Schedule [][]Call
+
+// Calls returns the schedule flattened in stage order.
+func (s Schedule) Calls() []Call {
+	var out []Call
+	for _, stage := range s {
+		out = append(out, stage...)
+	}
+	return out
+}
+
+// Stages returns the number of parallel stages.
+func (s Schedule) Stages() int { return len(s) }
+
+// String renders one stage per line.
+func (s Schedule) String() string {
+	out := ""
+	for i, stage := range s {
+		out += fmt.Sprintf("stage %d:", i)
+		for _, c := range stage {
+			out += " " + c.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Canonical sorts every stage (for set-wise comparison of schedules).
+func (s Schedule) Canonical() Schedule {
+	out := make(Schedule, len(s))
+	for i, stage := range s {
+		cp := append([]Call(nil), stage...)
+		sort.Slice(cp, func(a, b int) bool { return cp[a].String() < cp[b].String() })
+		out[i] = cp
+	}
+	return out
+}
+
+// Equal reports stage-wise set equality of two schedules.
+func (s Schedule) Equal(other Schedule) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	a, b := s.Canonical(), other.Canonical()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tiles in the four operand spaces.
+func xt(i, j int) Tile { return Tile{Sub: OpX, I: i, J: j} }
+func ut(i, j int) Tile { return Tile{Sub: OpU, I: i, J: j} }
+func vt(i, j int) Tile { return Tile{Sub: OpV, I: i, J: j} }
+func wt(i, j int) Tile { return Tile{Sub: OpW, I: i, J: j} }
+
+// Parametric builds the Fig. 4 algorithm for the given kernel kind at
+// fan-out r, operating on r×r operand grids. For kind A every operand is
+// an X subtile (the figure's A(X)); B reads U and W, C reads V and W, D
+// all three. The per-iteration structure is A, then the panel stage,
+// then the interior stage — exactly the figure.
+func Parametric(rule semiring.Rule, kind semiring.Kind, r int) Schedule {
+	var s Schedule
+	add := func(stage []Call) {
+		if len(stage) > 0 {
+			s = append(s, stage)
+		}
+	}
+	for k := 0; k < r; k++ {
+		rest := rule.Restricted(k, r)
+		switch kind {
+		case semiring.KindA:
+			kk := xt(k, k)
+			add([]Call{{Kind: semiring.KindA, X: kk, U: kk, V: kk, W: kk}})
+			var panel []Call
+			for _, j := range rest {
+				panel = append(panel, Call{Kind: semiring.KindB, X: xt(k, j), U: kk, V: xt(k, j), W: kk})
+			}
+			for _, i := range rest {
+				panel = append(panel, Call{Kind: semiring.KindC, X: xt(i, k), U: xt(i, k), V: kk, W: kk})
+			}
+			add(panel)
+			var interior []Call
+			for _, i := range rest {
+				for _, j := range rest {
+					interior = append(interior, Call{Kind: semiring.KindD, X: xt(i, j), U: xt(i, k), V: xt(k, j), W: kk})
+				}
+			}
+			add(interior)
+
+		case semiring.KindB:
+			var row []Call
+			for j := 0; j < r; j++ {
+				row = append(row, Call{Kind: semiring.KindB, X: xt(k, j), U: ut(k, k), V: xt(k, j), W: wt(k, k)})
+			}
+			add(row)
+			var interior []Call
+			for _, i := range rest {
+				for j := 0; j < r; j++ {
+					interior = append(interior, Call{Kind: semiring.KindD, X: xt(i, j), U: ut(i, k), V: xt(k, j), W: wt(k, k)})
+				}
+			}
+			add(interior)
+
+		case semiring.KindC:
+			var col []Call
+			for i := 0; i < r; i++ {
+				col = append(col, Call{Kind: semiring.KindC, X: xt(i, k), U: xt(i, k), V: vt(k, k), W: wt(k, k)})
+			}
+			add(col)
+			var interior []Call
+			for i := 0; i < r; i++ {
+				for _, j := range rest {
+					interior = append(interior, Call{Kind: semiring.KindD, X: xt(i, j), U: xt(i, k), V: vt(k, j), W: wt(k, k)})
+				}
+			}
+			add(interior)
+
+		default: // KindD
+			var interior []Call
+			for i := 0; i < r; i++ {
+				for j := 0; j < r; j++ {
+					interior = append(interior, Call{Kind: semiring.KindD, X: xt(i, j), U: ut(i, k), V: vt(k, j), W: wt(k, k)})
+				}
+			}
+			add(interior)
+		}
+	}
+	return s
+}
+
+// InlineOnce performs one refinement step of §IV-A: every call is
+// replaced by its 2-way body (its kind's Parametric schedule at r = 2)
+// with the body's operand tiles embedded into the caller's tiles, and
+// the resulting flat program is re-scheduled greedily into the earliest
+// legal stages.
+func InlineOnce(rule semiring.Rule, s Schedule) Schedule {
+	var flat []Call
+	for _, call := range s.Calls() {
+		body := Parametric(rule, call.Kind, 2)
+		for _, sub := range body.Calls() {
+			flat = append(flat, Call{
+				Kind: sub.Kind,
+				X:    sub.X.embed(call),
+				U:    sub.U.embed(call),
+				V:    sub.V.embed(call),
+				W:    sub.W.embed(call),
+			})
+		}
+	}
+	return ScheduleGreedy(flat)
+}
+
+// ScheduleGreedy packs a sequential program into parallel stages: each
+// call lands in the earliest stage after every earlier call it conflicts
+// with (the dependency rules in the package comment). This is the
+// "execute in as few parallel stages as possible" optimization of §IV-A.
+func ScheduleGreedy(seq []Call) Schedule {
+	stageOf := make([]int, len(seq))
+	maxStage := -1
+	for i, c := range seq {
+		stage := 0
+		for j := 0; j < i; j++ {
+			if c.conflictsWith(seq[j]) && stageOf[j] >= stage {
+				stage = stageOf[j] + 1
+			}
+		}
+		stageOf[i] = stage
+		if stage > maxStage {
+			maxStage = stage
+		}
+	}
+	out := make(Schedule, maxStage+1)
+	for i, c := range seq {
+		out[stageOf[i]] = append(out[stageOf[i]], c)
+	}
+	return out
+}
+
+// Derive produces the 2ᵗ-way algorithm for the full GEP (kind A) by t
+// refinement steps from the trivial one-call program, as §IV-A
+// prescribes.
+func Derive(rule semiring.Rule, t int) Schedule {
+	root := xt(0, 0)
+	s := Schedule{{{Kind: semiring.KindA, X: root, U: root, V: root, W: root}}}
+	for level := 0; level < t; level++ {
+		s = InlineOnce(rule, s)
+	}
+	return s
+}
+
+// GridDim returns the operand grid dimension a kind-A schedule addresses
+// (max tile index + 1).
+func (s Schedule) GridDim() int {
+	n := 0
+	for _, c := range s.Calls() {
+		for _, t := range []Tile{c.X, c.U, c.V, c.W} {
+			if t.I+1 > n {
+				n = t.I + 1
+			}
+			if t.J+1 > n {
+				n = t.J + 1
+			}
+		}
+	}
+	return n
+}

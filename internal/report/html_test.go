@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	h := NewHTMLReport("dpspark <evaluation>")
+	tbl := NewTable("Table I", "omp", []string{"2"}, []string{"32"})
+	tbl.Set(0, 0, "381")
+	h.AddTable(tbl)
+	h.AddBarChart(&BarChart{
+		Title: "Fig 6",
+		Unit:  "s",
+		Group: []Group{{Label: "block 512", Bars: []Bar{
+			{Name: "IM iter", Value: 100},
+			{Name: "CB iter", Note: "timeout"},
+		}}},
+	})
+	h.AddLineChart(&LineChart{
+		Title: "Fig 9",
+		Unit:  "s",
+		Lines: []Line{{Name: "iter", Points: []Point{{Label: "1", Value: 10}, {Label: "8", Note: "x"}}}},
+	})
+	h.AddText("note & caveat")
+
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"dpspark &lt;evaluation&gt;", // escaping
+		"<td>381</td>",
+		"<svg",
+		"[timeout]",
+		"Fig 9",
+		"note &amp; caveat",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+	// The 100s bar must be full width (420px).
+	if !strings.Contains(out, `width="420"`) {
+		t.Fatal("max bar must span the chart width")
+	}
+}
+
+func TestHTMLEmptyLineChart(t *testing.T) {
+	h := NewHTMLReport("t")
+	h.AddLineChart(&LineChart{})
+	var sb strings.Builder
+	if err := h.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

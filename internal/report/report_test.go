@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dpspark/internal/simtime"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := NewTable("Title", "omp\\cores", []string{"2", "4"}, []string{"32", "16"})
+	tbl.Set(0, 0, "381")
+	tbl.Set(0, 1, "387")
+	tbl.Set(1, 0, "264")
+	tbl.Set(1, 1, "262")
+
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Title", "omp\\cores", "381", "262", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	var csvB strings.Builder
+	if err := tbl.CSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvB.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[1] != "2,381,387" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	bc := &BarChart{
+		Title: "Fig",
+		Unit:  "s",
+		Width: 10,
+		Group: []Group{{
+			Label: "block 512",
+			Bars: []Bar{
+				{Name: "IM iter", Value: 100},
+				{Name: "IM rec4", Value: 50},
+				{Name: "CB iter", Note: "timeout"},
+			},
+		}},
+	}
+	var sb strings.Builder
+	if err := bc.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "block 512") || !strings.Contains(out, "[timeout]") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+	// The 100s bar must be twice the 50s bar.
+	lines := strings.Split(out, "\n")
+	var longBar, shortBar int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.Contains(l, "IM iter") {
+			longBar = n
+		}
+		if strings.Contains(l, "IM rec4") {
+			shortBar = n
+		}
+	}
+	if longBar != 10 || shortBar != 5 {
+		t.Fatalf("bar lengths = %d/%d", longBar, shortBar)
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	lc := &LineChart{
+		Title: "Weak scaling",
+		Unit:  "s",
+		Lines: []Line{
+			{Name: "iter", Points: []Point{{Label: "1", Value: 10}, {Label: "8", Value: 20}}},
+			{Name: "rec", Points: []Point{{Label: "1", Value: 8}, {Label: "8", Note: "timeout"}}},
+		},
+	}
+	var sb strings.Builder
+	if err := lc.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Weak scaling", "iter", "rec", "10s", "[timeout]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("line chart missing %q:\n%s", want, out)
+		}
+	}
+	if err := (&LineChart{}).Render(&sb); err != nil {
+		t.Fatal("empty chart must render cleanly")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(302.4*simtime.Second, false) != "302" {
+		t.Fatal("seconds format")
+	}
+	if Seconds(9*simtime.Hour, true) != ">8h" {
+		t.Fatal("timeout format")
+	}
+}

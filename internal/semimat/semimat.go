@@ -1,0 +1,98 @@
+// Package semimat implements dense matrix algebra over closed semirings:
+// the ⊕/⊙ matrix product and the closure by repeated squaring that the
+// paper's related work reduces path problems to (R-Kleene, Aho et al.).
+// It serves as an independent O(n³ log n) oracle for validating the GEP
+// solvers and as the slow comparator in benchmarks.
+package semimat
+
+import (
+	"fmt"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Mul returns the semiring matrix product C = A ⊙ B with
+// C[i,j] = ⊕_k A[i,k] ⊙ B[k,j].
+func Mul(s semiring.Semiring, a, b *matrix.Dense) *matrix.Dense {
+	if a.N != b.N {
+		panic(fmt.Sprintf("semimat: dimension mismatch %d vs %d", a.N, b.N))
+	}
+	n := a.N
+	out := matrix.NewDense(n)
+	for i := range out.Data {
+		out.Data[i] = s.Zero
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.At(i, k)
+			if aik == s.Zero {
+				continue // 0̄ annihilates
+			}
+			orow := out.Data[i*n:]
+			brow := b.Data[k*n:]
+			for j := 0; j < n; j++ {
+				orow[j] = s.Plus(orow[j], s.Times(aik, brow[j]))
+			}
+		}
+	}
+	return out
+}
+
+// Add returns A ⊕ B elementwise.
+func Add(s semiring.Semiring, a, b *matrix.Dense) *matrix.Dense {
+	if a.N != b.N {
+		panic(fmt.Sprintf("semimat: dimension mismatch %d vs %d", a.N, b.N))
+	}
+	out := matrix.NewDense(a.N)
+	for i := range out.Data {
+		out.Data[i] = s.Plus(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Identity returns the semiring identity matrix (1̄ diagonal, 0̄ off).
+func Identity(s semiring.Semiring, n int) *matrix.Dense {
+	out := matrix.NewDense(n)
+	for i := range out.Data {
+		out.Data[i] = s.Zero
+	}
+	for i := 0; i < n; i++ {
+		out.Set(i, i, s.One)
+	}
+	return out
+}
+
+// Closure computes A* = I ⊕ A ⊕ A² ⊕ … by repeated squaring of (I ⊕ A):
+// for idempotent semirings, (I⊕A)^(2^⌈log₂ n⌉) is the closure. With the
+// min-plus semiring and A the edge-weight matrix this is all-pairs
+// shortest paths (assuming no negative cycles); with the boolean semiring
+// it is transitive closure.
+func Closure(s semiring.Semiring, a *matrix.Dense) *matrix.Dense {
+	cur := Add(s, Identity(s, a.N), a)
+	for span := 1; span < a.N; span *= 2 {
+		cur = Mul(s, cur, cur)
+	}
+	return cur
+}
+
+// Power returns Aᵏ under the semiring (k ≥ 0; A⁰ = I). With min-plus it
+// yields shortest paths using at most k edges — useful for
+// bounded-hop queries and for tests.
+func Power(s semiring.Semiring, a *matrix.Dense, k int) *matrix.Dense {
+	if k < 0 {
+		panic("semimat: negative power")
+	}
+	result := Identity(s, a.N)
+	base := a.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = Mul(s, result, base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = Mul(s, base, base)
+		}
+	}
+	return result
+}

@@ -1,0 +1,132 @@
+package semimat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpspark/internal/graph"
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, s := range []semiring.Semiring{semiring.MinPlus(), semiring.Boolean(), semiring.MaxMin()} {
+		n := 12
+		a := randomSemiringMatrix(s, n, rng)
+		id := Identity(s, n)
+		left := Mul(s, id, a)
+		right := Mul(s, a, id)
+		if a.MaxAbsDiff(left) != 0 || a.MaxAbsDiff(right) != 0 {
+			t.Fatalf("%s: identity law fails", s.Name())
+		}
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	s := semiring.MinPlus()
+	n := 10
+	a := randomSemiringMatrix(s, n, rng)
+	b := randomSemiringMatrix(s, n, rng)
+	c := randomSemiringMatrix(s, n, rng)
+	left := Mul(s, Mul(s, a, b), c)
+	right := Mul(s, a, Mul(s, b, c))
+	if diff := left.MaxAbsDiff(right); diff > 1e-9 {
+		t.Fatalf("associativity diff %v", diff)
+	}
+}
+
+func TestClosureEqualsFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	s := semiring.MinPlus()
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Random(20, 0.2, 1, 9, rng)
+		d := g.DistanceMatrix()
+		want := d.Clone()
+		semiring.FloydWarshallReference(want.Data, want.N)
+		// Closure takes the edge matrix with 0̄ off-diagonal defaults; the
+		// distance matrix already has 1̄ (0) diagonal which I⊕A preserves.
+		got := Closure(s, d)
+		if diff := got.MaxAbsDiff(want); diff > 1e-9 {
+			t.Fatalf("trial %d: closure vs FW diff %v", trial, diff)
+		}
+	}
+}
+
+func TestBooleanClosureIsTransitiveClosure(t *testing.T) {
+	s := semiring.Boolean()
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	adj := g.AdjacencyBool()
+	got := Closure(s, adj)
+	if got.At(0, 2) != 1 || got.At(2, 0) != 0 || got.At(3, 3) != 1 {
+		t.Fatalf("closure wrong:\n%v", got)
+	}
+}
+
+func TestPowerBoundedHops(t *testing.T) {
+	// Path 0→1→2→3 with unit weights: A^k reaches exactly k hops.
+	s := semiring.MinPlus()
+	n := 4
+	a := matrix.NewDense(n)
+	for i := range a.Data {
+		a.Data[i] = s.Zero
+	}
+	for i := 0; i+1 < n; i++ {
+		a.Set(i, i+1, 1)
+	}
+	p2 := Power(s, a, 2)
+	if p2.At(0, 2) != 2 {
+		t.Fatalf("A²[0,2] = %v", p2.At(0, 2))
+	}
+	if !math.IsInf(p2.At(0, 3), 1) {
+		t.Fatal("A² must not reach 3 hops")
+	}
+	p0 := Power(s, a, 0)
+	if p0.MaxAbsDiff(Identity(s, n)) != 0 {
+		t.Fatal("A⁰ must be the identity")
+	}
+}
+
+func TestClosureIdempotentProperty(t *testing.T) {
+	// Property: closing a closed matrix changes nothing.
+	s := semiring.MinPlus()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Random(12, 0.25, 1, 5, rng)
+		c := Closure(s, g.DistanceMatrix())
+		// Tolerance: re-closing may re-associate float path sums.
+		return c.MaxAbsDiff(Closure(s, c)) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(semiring.MinPlus(), matrix.NewDense(2), matrix.NewDense(3))
+}
+
+func randomSemiringMatrix(s semiring.Semiring, n int, rng *rand.Rand) *matrix.Dense {
+	d := matrix.NewDense(n)
+	for i := range d.Data {
+		switch {
+		case rng.Float64() < 0.3:
+			d.Data[i] = s.Zero
+		case s.Name() == "boolean":
+			d.Data[i] = 1
+		default:
+			d.Data[i] = math.Floor(rng.Float64() * 10)
+		}
+	}
+	return d
+}

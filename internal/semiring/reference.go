@@ -1,0 +1,52 @@
+package semiring
+
+// RunGEP executes the reference GEP triple loop of Fig. 1 in place on a
+// row-major n×n table. It is the semantic ground truth that every blocked,
+// recursive and distributed implementation in this repository must match,
+// and is used pervasively by tests. O(n³) — intended for small n.
+func RunGEP(c []float64, n int, rule Rule) {
+	if len(c) != n*n {
+		panic("semiring: RunGEP table length != n*n")
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !rule.Sigma(i, j, k, n) {
+					continue
+				}
+				c[i*n+j] = rule.Apply(c[i*n+j], c[i*n+k], c[k*n+j], c[k*n+k])
+			}
+		}
+	}
+}
+
+// FloydWarshallReference runs the classic three-loop FW-APSP (Fig. 5) in
+// place on a row-major n×n distance matrix. Equivalent to RunGEP with the
+// min-plus rule but written independently so tests compare two separately
+// derived implementations.
+func FloydWarshallReference(d []float64, n int) {
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i*n+k]
+			for j := 0; j < n; j++ {
+				if t := dik + d[k*n+j]; t < d[i*n+j] {
+					d[i*n+j] = t
+				}
+			}
+		}
+	}
+}
+
+// GaussianEliminationReference runs the classic forward elimination of
+// Fig. 2 in place on a row-major n×n augmented matrix (no pivoting).
+// Written independently of RunGEP for cross-validation in tests.
+func GaussianEliminationReference(x []float64, n int) {
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			f := x[i*n+k] / x[k*n+k]
+			for j := k + 1; j < n; j++ {
+				x[i*n+j] -= f * x[k*n+j]
+			}
+		}
+	}
+}

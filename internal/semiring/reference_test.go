@@ -1,0 +1,123 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomDistances(n int, rng *rand.Rand) []float64 {
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				d[i*n+j] = 0
+			case rng.Float64() < 0.4:
+				d[i*n+j] = math.Inf(1)
+			default:
+				d[i*n+j] = 1 + math.Floor(rng.Float64()*20)
+			}
+		}
+	}
+	return d
+}
+
+func TestRunGEPMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 33} {
+		a := randomDistances(n, rng)
+		b := append([]float64(nil), a...)
+		RunGEP(a, n, NewFloydWarshall())
+		FloydWarshallReference(b, n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: mismatch at %d: GEP=%v FW=%v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRunGEPMatchesGaussianElimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 31} {
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				v := 1 + rng.Float64()
+				a[i*n+j] = v
+				sum += v
+			}
+			a[i*n+i] = sum + 1 // diagonally dominant
+		}
+		b := append([]float64(nil), a...)
+		RunGEP(a, n, NewGaussian())
+		GaussianEliminationReference(b, n)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				t.Fatalf("n=%d: mismatch at %d: GEP=%v ref=%v", n, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFloydWarshallTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 24
+	d := randomDistances(n, rng)
+	RunGEP(d, n, NewFloydWarshall())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if d[i*n+j] > d[i*n+k]+d[k*n+j]+1e-12 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFloydWarshallIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 20
+	d := randomDistances(n, rng)
+	RunGEP(d, n, NewFloydWarshall())
+	once := append([]float64(nil), d...)
+	RunGEP(d, n, NewFloydWarshall())
+	for i := range d {
+		if d[i] != once[i] {
+			t.Fatalf("FW not idempotent at %d: %v vs %v", i, d[i], once[i])
+		}
+	}
+}
+
+func TestTransitiveClosureViaGEP(t *testing.T) {
+	// A tiny chain 0→1→2 plus an isolated vertex 3.
+	n := 4
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		c[i*n+i] = 1
+	}
+	c[0*n+1] = 1
+	c[1*n+2] = 1
+	RunGEP(c, n, NewTransitiveClosure())
+	want := map[[2]int]float64{
+		{0, 1}: 1, {1, 2}: 1, {0, 2}: 1, // transitivity
+		{2, 0}: 0, {0, 3}: 0, {3, 0}: 0,
+	}
+	for ij, w := range want {
+		if got := c[ij[0]*n+ij[1]]; got != w {
+			t.Fatalf("closure[%d,%d] = %v, want %v", ij[0], ij[1], got, w)
+		}
+	}
+}
+
+func TestRunGEPPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched table length")
+		}
+	}()
+	RunGEP(make([]float64, 5), 2, NewFloydWarshall())
+}

@@ -1,0 +1,200 @@
+package semiring
+
+import "fmt"
+
+// Kind identifies one of the four GEP kernel functions of the r-way
+// recursive divide-&-conquer algorithm (Fig. 4 of the paper). In iteration
+// k of the top-level algorithm:
+//
+//	A updates the pivot tile (k,k) using only itself;
+//	B updates row-panel tiles (k,j) using the pivot tile;
+//	C updates column-panel tiles (i,k) using the pivot tile;
+//	D updates interior tiles (i,j) using tiles (i,k), (k,j) and (k,k).
+type Kind int
+
+// Kernel kinds.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	KindD
+)
+
+// String returns the single-letter kernel name.
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	case KindC:
+		return "C"
+	case KindD:
+		return "D"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Rule is a GEP update rule: the cell update f plus the shape of the
+// iteration space Σ_G, expressed both globally (Sigma, for the reference
+// Fig. 1 triple loop) and as per-kernel local loop bounds (ILow/JLow, for
+// the blocked and recursive kernels).
+//
+// Loop-bound semantics: inside a kernel of the given Kind processing a
+// b×b tile, with the local pivot index k, the update runs over local rows
+// i ∈ [ILow(kind,k), b) and local columns j ∈ [JLow(kind,k), b). For
+// Floyd-Warshall all bounds are 0; for Gaussian elimination the bounds
+// encode the global constraints i > k and j > k, which fall inside the
+// pivot tile's row/column panels only.
+type Rule interface {
+	// Name identifies the rule, e.g. "floyd-warshall" or "gaussian-elim".
+	Name() string
+	// Apply computes f(x, u, v, w) where, in global terms,
+	// x = c[i,j], u = c[i,k], v = c[k,j], w = c[k,k].
+	Apply(x, u, v, w float64) float64
+	// Sigma reports whether (i,j,k) ∈ Σ_G for an n×n problem. It defines
+	// the reference semantics every blocked implementation must match.
+	Sigma(i, j, k, n int) bool
+	// ILow returns the first local row updated by a kernel of the given
+	// kind at local pivot k.
+	ILow(kind Kind, k int) int
+	// JLow returns the first local column updated by a kernel of the
+	// given kind at local pivot k.
+	JLow(kind Kind, k int) int
+	// UsesPivot reports whether f reads its fourth argument w = c[k,k].
+	// Semiring rules (x ⊕ u⊙v) do not, so their D kernels need no copy
+	// of the pivot tile — the paper's Fig. 7: FW-APSP has lighter
+	// kernel dependencies than GE, which divides by the pivot.
+	UsesPivot() bool
+	// Restricted returns the non-pivot tile indices that participate in
+	// panel (B/C) and interior (D) updates at iteration k of an r-way
+	// decomposition. For Gaussian elimination only later tiles take part
+	// (k+1..r-1: earlier panels are already eliminated); for semiring GEP
+	// every tile but the pivot does. The same ranges drive the recursive
+	// kernels' sub-calls (Fig. 4) and the Spark drivers' FilterB/C/D.
+	Restricted(k, r int) []int
+	// Pad is the off-diagonal virtual-padding element: padded cells must
+	// never change the result (paper §IV: "virtual padding").
+	Pad() float64
+	// PadDiag is the diagonal virtual-padding element (it must make the
+	// update a no-op and, for division-based rules, be safe as a pivot).
+	PadDiag() float64
+}
+
+// SemiringRule is the GEP rule x ⊕ (u ⊙ v) over a closed semiring; the
+// pivot value w is unused. With MinPlus it is exactly the Floyd-Warshall
+// recurrence d[i,j] = d[i,j] ⊕ (d[i,k] ⊙ d[k,j]); with Boolean it is
+// Warshall's transitive closure. Σ_G is the full cube.
+type SemiringRule struct {
+	S Semiring
+}
+
+// NewFloydWarshall returns the GEP rule for FW-APSP over min-plus.
+func NewFloydWarshall() SemiringRule { return SemiringRule{S: MinPlus()} }
+
+// NewTransitiveClosure returns the GEP rule for Warshall's transitive
+// closure over the boolean semiring.
+func NewTransitiveClosure() SemiringRule { return SemiringRule{S: Boolean()} }
+
+// Name implements Rule.
+func (r SemiringRule) Name() string { return "gep-" + r.S.Name() }
+
+// Apply implements Rule: x ⊕ (u ⊙ v).
+func (r SemiringRule) Apply(x, u, v, _ float64) float64 {
+	return r.S.Plus(x, r.S.Times(u, v))
+}
+
+// Sigma implements Rule: the full i,j,k cube.
+func (r SemiringRule) Sigma(i, j, k, n int) bool {
+	return i >= 0 && i < n && j >= 0 && j < n && k >= 0 && k < n
+}
+
+// ILow implements Rule; semiring GEP updates every row.
+func (r SemiringRule) ILow(Kind, int) int { return 0 }
+
+// JLow implements Rule; semiring GEP updates every column.
+func (r SemiringRule) JLow(Kind, int) int { return 0 }
+
+// UsesPivot implements Rule: x ⊕ (u ⊙ v) never reads w.
+func (r SemiringRule) UsesPivot() bool { return false }
+
+// Restricted implements Rule: every tile except the pivot.
+func (r SemiringRule) Restricted(k, rr int) []int {
+	out := make([]int, 0, rr-1)
+	for i := 0; i < rr; i++ {
+		if i != k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Pad implements Rule: padded cells hold 0̄ (for min-plus, +∞ — an
+// unreachable vertex), which is absorbed by ⊕ and annihilates ⊙ paths
+// through the padding.
+func (r SemiringRule) Pad() float64 { return r.S.Zero }
+
+// PadDiag implements Rule: padded diagonal cells hold 1̄ (for min-plus, 0 —
+// a zero-length self loop), matching d⁰[i,i] = 1̄ in the closed-semiring
+// formulation.
+func (r SemiringRule) PadDiag() float64 { return r.S.One }
+
+// GaussianRule is the GEP rule for Gaussian elimination without pivoting:
+// x = x − u·v/w, applied for i > k and j > k (Fig. 2). The DP table is the
+// n×n augmented system matrix.
+type GaussianRule struct{}
+
+// NewGaussian returns the GE update rule.
+func NewGaussian() GaussianRule { return GaussianRule{} }
+
+// Name implements Rule.
+func (GaussianRule) Name() string { return "gaussian-elim" }
+
+// Apply implements Rule: the elimination update x − u·v/w.
+func (GaussianRule) Apply(x, u, v, w float64) float64 { return x - u*v/w }
+
+// Sigma implements Rule: i > k and j > k (Fig. 2's loop bounds).
+func (GaussianRule) Sigma(i, j, k, n int) bool {
+	return k >= 0 && k < n && i > k && i < n && j > k && j < n
+}
+
+// ILow implements Rule. The global constraint i > k restricts local rows
+// only in kernels whose tile lies in the pivot's block row (A and B).
+func (GaussianRule) ILow(kind Kind, k int) int {
+	if kind == KindA || kind == KindB {
+		return k + 1
+	}
+	return 0
+}
+
+// JLow implements Rule. The global constraint j > k restricts local
+// columns only in kernels whose tile lies in the pivot's block column
+// (A and C).
+func (GaussianRule) JLow(kind Kind, k int) int {
+	if kind == KindA || kind == KindC {
+		return k + 1
+	}
+	return 0
+}
+
+// UsesPivot implements Rule: the elimination update divides by w.
+func (GaussianRule) UsesPivot() bool { return true }
+
+// Restricted implements Rule: only tiles after the pivot; rows/columns
+// before it are already in their final (eliminated) state.
+func (GaussianRule) Restricted(k, rr int) []int {
+	out := make([]int, 0, rr-k-1)
+	for i := k + 1; i < rr; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Pad implements Rule: padded off-diagonal cells are 0, so u·v/w vanishes
+// for any update that reads them.
+func (GaussianRule) Pad() float64 { return 0 }
+
+// PadDiag implements Rule: padded diagonal cells are 1, a safe pivot that
+// leaves x − u·v/1 = x when u or v is padding (0).
+func (GaussianRule) PadDiag() float64 { return 1 }

@@ -1,0 +1,265 @@
+// Package sim is the deterministic cluster scheduler used for model-mode
+// runs: it places the tasks of each stage on their executors, processes
+// each executor's queue in waves of executor-cores concurrent tasks,
+// dilates compute when the wave oversubscribes the node's physical cores
+// (the OMP_NUM_THREADS × executor-cores interaction of Tables I–II), and
+// charges network, local-disk staging and shared-storage traffic from the
+// cost model. It also enforces the failure conditions the paper reports:
+// local staging disks filling up (IM on large inputs) and the 8-hour
+// experiment timeout.
+package sim
+
+import (
+	"fmt"
+
+	"dpspark/internal/costmodel"
+	"dpspark/internal/simtime"
+)
+
+// Task is one schedulable unit: a stage task bound to an executor.
+type Task struct {
+	// Node is the executor index the task runs on.
+	Node int
+	// Compute is the task's standalone compute time (kernel times already
+	// include intra-kernel thread speedup).
+	Compute simtime.Duration
+	// Threads is the number of worker threads the task keeps busy while
+	// computing (kernel occupancy; 1 for iterative kernels).
+	Threads int
+	// IdleThreads counts spawned OMP threads beyond the kernel's
+	// exploitable parallelism: they spin at the recursion's par_for
+	// barriers, adding node pressure without throughput.
+	IdleThreads int
+	// FetchLocal and FetchRemote are shuffle-read bytes served from the
+	// local disk vs across the network.
+	FetchLocal, FetchRemote int64
+	// Spill is the shuffle-write bytes staged on the local disk.
+	Spill int64
+	// SharedRead and SharedWrite are shared-filesystem bytes (CB driver).
+	SharedRead, SharedWrite int64
+}
+
+// Timeout is the paper's experiment wall-clock bound: runs exceeding it
+// are reported as missing bars / timed-out cells.
+const Timeout = 8 * simtime.Hour
+
+// ErrDiskFull reports a node-local staging disk overflowing.
+type ErrDiskFull struct {
+	Node   int
+	Staged int64
+	Cap    int64
+}
+
+func (e ErrDiskFull) Error() string {
+	return fmt.Sprintf("sim: staging disk full on node %d: %d bytes staged, capacity %d",
+		e.Node, e.Staged, e.Cap)
+}
+
+// Sim accumulates virtual time across the stages of a job.
+type Sim struct {
+	Model *costmodel.Model
+	// ExecCores is the number of concurrent task slots per executor
+	// (the executor-cores setting).
+	ExecCores int
+	// OversubPenalty is the extra dilation per unit of core
+	// oversubscription by busy threads (fair time-slicing cost).
+	OversubPenalty float64
+	// SpinQuad scales the quadratic thrash penalty of spinning idle
+	// threads; calibrated against the OMP_NUM_THREADS=16/32 columns of
+	// Tables I–II.
+	SpinQuad float64
+	// Clock is the job's virtual time so far.
+	Clock simtime.Duration
+	// Ledger attributes resource-seconds by category.
+	Ledger *simtime.Ledger
+
+	diskUsed []int64
+	failure  error
+}
+
+// New returns a simulator for the model's cluster.
+func New(m *costmodel.Model, execCores int) *Sim {
+	if execCores < 1 {
+		execCores = 1
+	}
+	return &Sim{
+		Model:          m,
+		ExecCores:      execCores,
+		OversubPenalty: 0.015,
+		SpinQuad:       0.00128,
+		Ledger:         simtime.NewLedger(),
+		diskUsed:       make([]int64, m.C.Nodes),
+	}
+}
+
+// Err returns the first failure observed (disk full), if any.
+func (s *Sim) Err() error { return s.failure }
+
+// TimedOut reports whether the virtual clock passed the 8-hour bound.
+func (s *Sim) TimedOut() bool { return s.Clock > Timeout }
+
+// AdvanceDriver charges driver-side time (collect/broadcast, scheduling).
+func (s *Sim) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
+	s.Clock += d
+	s.Ledger.Add(cat, d)
+}
+
+// ReleaseShuffle frees staged shuffle bytes (Spark's shuffle cleanup when
+// an old RDD generation is no longer referenced).
+func (s *Sim) ReleaseShuffle(node int, bytes int64) {
+	if node >= 0 && node < len(s.diskUsed) {
+		s.diskUsed[node] -= bytes
+		if s.diskUsed[node] < 0 {
+			s.diskUsed[node] = 0
+		}
+	}
+}
+
+// DiskUsed returns the staged bytes currently on a node.
+func (s *Sim) DiskUsed(node int) int64 {
+	if node < 0 || node >= len(s.diskUsed) {
+		return 0
+	}
+	return s.diskUsed[node]
+}
+
+// RunStage schedules one stage's tasks and advances the clock by the
+// stage's makespan (slowest node) plus the stage overhead.
+func (s *Sim) RunStage(tasks []Task) simtime.Duration {
+	nodes := s.Model.C.Nodes
+	cores := s.Model.C.Node.Cores
+	perNode := make([][]Task, nodes)
+	for _, t := range tasks {
+		n := t.Node % nodes
+		if n < 0 {
+			n += nodes
+		}
+		perNode[n] = append(perNode[n], t)
+	}
+
+	var makespan simtime.Duration
+	for n, q := range perNode {
+		if len(q) == 0 {
+			continue
+		}
+		var fetchLocal, fetchRemote, spill, sharedR, sharedW int64
+		for _, t := range q {
+			fetchLocal += t.FetchLocal
+			fetchRemote += t.FetchRemote
+			spill += t.Spill
+			sharedR += t.SharedRead
+			sharedW += t.SharedWrite
+		}
+
+		// Node-level I/O: shuffle reads come off disks and (for remote
+		// chunks) through the node's link; shuffle writes and shared-fs
+		// traffic are serial with compute.
+		io := s.Model.DiskReadTime(fetchLocal+fetchRemote) +
+			s.Model.NetTime(fetchRemote) +
+			s.Model.DiskWriteTime(spill) +
+			s.Model.SharedReadTime(sharedR) +
+			s.Model.SharedWriteTime(sharedW)
+		s.Ledger.Add(simtime.LocalDisk, s.Model.DiskReadTime(fetchLocal+fetchRemote)+s.Model.DiskWriteTime(spill))
+		s.Ledger.Add(simtime.Network, s.Model.NetTime(fetchRemote))
+		s.Ledger.Add(simtime.SharedFS, s.Model.SharedReadTime(sharedR)+s.Model.SharedWriteTime(sharedW))
+		s.Ledger.AddBytes(simtime.Network, fetchRemote)
+		s.Ledger.AddBytes(simtime.LocalDisk, spill)
+		s.Ledger.AddBytes(simtime.SharedFS, sharedR+sharedW)
+
+		// Compute via a fluid list-scheduling bound: the executor keeps
+		// ExecCores task slots busy (Spark dispatches a new task as soon
+		// as a slot frees), each running task occupies Threads workers,
+		// and the node cannot exceed its physical cores — demanding more
+		// adds a thread-switching (spin) penalty. The stage's node time
+		// is the larger of the bandwidth bound W/throughput and the
+		// longest single task (the straggler bound).
+		var workThreadSec float64 // Σ compute_i × busy threads_i
+		var idleThreadSec float64
+		var sumCompute float64
+		var longest simtime.Duration
+		var busyTasks int
+		overhead := s.Model.TaskOverhead()
+		for _, t := range q {
+			th := t.Threads
+			if th < 1 {
+				th = 1
+			}
+			// Shuffled bytes pay single-core (de)serialization inside
+			// the task (pySpark pickling).
+			ser := s.Model.SerializeTime(t.Spill + t.FetchLocal + t.FetchRemote)
+			c := t.Compute + ser
+			workThreadSec += t.Compute.Seconds()*float64(th) + ser.Seconds()
+			idleThreadSec += t.Compute.Seconds() * float64(t.IdleThreads)
+			sumCompute += c.Seconds()
+			if c > 0 {
+				busyTasks++
+			}
+			if c > longest {
+				longest = c
+			}
+		}
+		var compute simtime.Duration
+		if workThreadSec > 0 {
+			conc := busyTasks
+			if conc > s.ExecCores {
+				conc = s.ExecCores
+			}
+			avgOcc := workThreadSec / sumCompute
+			avgIdle := idleThreadSec / sumCompute
+			demandBusy := float64(conc) * avgOcc
+			demandIdle := float64(conc) * avgIdle
+			usable := demandBusy
+			if usable > float64(cores) {
+				usable = float64(cores)
+			}
+			spin := 1.0
+			if ratio := demandBusy / float64(cores); ratio > 1 {
+				spin += s.OversubPenalty * (ratio - 1)
+			}
+			if total := demandBusy + demandIdle; demandIdle > 0 && total > float64(cores) {
+				// Spinning hurts superlinearly in how outnumbered the
+				// busy threads are: a 4-wide kernel run with 32 OMP
+				// threads (idle/busy = 7) thrashes far worse than a
+				// 16-wide kernel with the same thread count (idle/busy
+				// = 1) — the Tables I vs II omp=32 contrast.
+				pressure := total / float64(cores)
+				outnumber := demandIdle / demandBusy
+				spin += s.SpinQuad * pressure * outnumber * outnumber
+			}
+			throughput := usable / spin
+			compute = simtime.Duration(workThreadSec / throughput)
+			if longest > compute {
+				compute = longest
+			}
+		}
+		// Task launch overhead amortizes across slots.
+		slots := s.ExecCores
+		if slots > len(q) {
+			slots = len(q)
+		}
+		if slots < 1 {
+			slots = 1
+		}
+		compute += simtime.Duration(float64(len(q)) / float64(slots) * overhead.Seconds())
+		s.Ledger.Add(simtime.Compute, compute)
+
+		s.diskUsed[n] += spill
+		s.Ledger.ObserveDisk(s.diskUsed[n])
+		if s.failure == nil && s.diskUsed[n] > s.Model.C.Node.Disk.Capacity {
+			s.failure = ErrDiskFull{Node: n, Staged: s.diskUsed[n], Cap: s.Model.C.Node.Disk.Capacity}
+		}
+
+		if total := io + compute; total > makespan {
+			makespan = total
+		}
+	}
+
+	total := makespan + s.Model.StageOverhead()
+	s.Clock += total
+	s.Ledger.Add(simtime.Overhead, s.Model.StageOverhead())
+	s.Ledger.CountStage()
+	for range tasks {
+		s.Ledger.CountTask()
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/costmodel"
+	"dpspark/internal/simtime"
+)
+
+func newSim(execCores int) *Sim {
+	return New(costmodel.New(cluster.Skylake16()), execCores)
+}
+
+func TestRunStageMakespanIsSlowestNode(t *testing.T) {
+	s := newSim(32)
+	tasks := []Task{
+		{Node: 0, Compute: 1 * simtime.Second, Threads: 1},
+		{Node: 1, Compute: 5 * simtime.Second, Threads: 1},
+	}
+	d := s.RunStage(tasks)
+	// Node 1 dominates: 5s + task overhead; plus stage overhead.
+	min := 5 * simtime.Second
+	max := 6 * simtime.Second
+	if d < min || d > max {
+		t.Fatalf("stage time = %v", d)
+	}
+	if s.Clock != d {
+		t.Fatal("clock must advance by stage time")
+	}
+}
+
+func TestWavesSerializeBeyondExecCores(t *testing.T) {
+	s := newSim(2) // two slots per node
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{Node: 0, Compute: simtime.Second, Threads: 1})
+	}
+	d := s.RunStage(tasks)
+	if d < 3*simtime.Second || d > 4*simtime.Second {
+		t.Fatalf("6 tasks in waves of 2 should take ~3s, got %v", d)
+	}
+}
+
+func TestOversubscriptionDilates(t *testing.T) {
+	// 32 concurrent tasks × 8 threads = 256 demanded on 32 cores: ≥8×.
+	sub := newSim(32)
+	var tasks []Task
+	for i := 0; i < 32; i++ {
+		tasks = append(tasks, Task{Node: 0, Compute: simtime.Second, Threads: 8})
+	}
+	dOver := sub.RunStage(tasks)
+
+	fit := newSim(4) // 4 tasks × 8 threads = 32 = cores: no dilation, 8 waves
+	fitTasks := make([]Task, 32)
+	copy(fitTasks, tasks)
+	dFit := fit.RunStage(fitTasks)
+
+	if dOver <= dFit {
+		t.Fatalf("oversubscribed wave must be slower than fitting waves: %v vs %v", dOver, dFit)
+	}
+}
+
+func TestSharedAndShuffleCharges(t *testing.T) {
+	s := newSim(32)
+	gb := int64(1) << 30
+	s.RunStage([]Task{{
+		Node: 0, Compute: 0, Threads: 1,
+		FetchLocal: gb, FetchRemote: gb, Spill: gb,
+		SharedRead: gb, SharedWrite: gb,
+	}})
+	if s.Ledger.Bytes(simtime.Network) != gb {
+		t.Fatalf("network bytes = %d", s.Ledger.Bytes(simtime.Network))
+	}
+	if s.Ledger.Bytes(simtime.LocalDisk) != gb {
+		t.Fatalf("disk bytes = %d", s.Ledger.Bytes(simtime.LocalDisk))
+	}
+	if s.Ledger.Bytes(simtime.SharedFS) != 2*gb {
+		t.Fatalf("shared bytes = %d", s.Ledger.Bytes(simtime.SharedFS))
+	}
+	// 1 GiB over GbE alone is ~8.6 s; clock must reflect I/O.
+	if s.Clock < 8*simtime.Second {
+		t.Fatalf("clock = %v", s.Clock)
+	}
+}
+
+func TestDiskFullFailure(t *testing.T) {
+	s := newSim(32)
+	huge := 2 * cluster.Skylake16().Node.Disk.Capacity
+	s.RunStage([]Task{{Node: 3, Spill: huge, Threads: 1}})
+	err := s.Err()
+	if err == nil {
+		t.Fatal("expected disk-full failure")
+	}
+	if !strings.Contains(err.Error(), "node 3") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestReleaseShuffleFreesDisk(t *testing.T) {
+	s := newSim(32)
+	s.RunStage([]Task{{Node: 0, Spill: 1000, Threads: 1}})
+	if s.DiskUsed(0) != 1000 {
+		t.Fatalf("disk used = %d", s.DiskUsed(0))
+	}
+	s.ReleaseShuffle(0, 400)
+	if s.DiskUsed(0) != 600 {
+		t.Fatalf("disk used = %d", s.DiskUsed(0))
+	}
+	s.ReleaseShuffle(0, 10000)
+	if s.DiskUsed(0) != 0 {
+		t.Fatal("disk used must clamp at 0")
+	}
+	if s.DiskUsed(99) != 0 {
+		t.Fatal("out-of-range node reads 0")
+	}
+}
+
+func TestAdvanceDriverAndTimeout(t *testing.T) {
+	s := newSim(32)
+	s.AdvanceDriver(2*simtime.Hour, simtime.Overhead)
+	if s.TimedOut() {
+		t.Fatal("2h is within the 8h budget")
+	}
+	s.AdvanceDriver(7*simtime.Hour, simtime.Overhead)
+	if !s.TimedOut() {
+		t.Fatal("9h must time out")
+	}
+}
+
+func TestEmptyStage(t *testing.T) {
+	s := newSim(32)
+	d := s.RunStage(nil)
+	if d != s.Model.StageOverhead() {
+		t.Fatalf("empty stage should cost exactly the stage overhead, got %v", d)
+	}
+}
+
+func TestTaskCountLedger(t *testing.T) {
+	s := newSim(32)
+	s.RunStage(make([]Task, 7))
+	if s.Ledger.Tasks() != 7 || s.Ledger.Stages() != 1 {
+		t.Fatalf("ledger tasks/stages = %d/%d", s.Ledger.Tasks(), s.Ledger.Stages())
+	}
+}
