@@ -8,9 +8,11 @@
 //
 // Flags:
 //
-//	-n N        problem size (default 32768, the paper's 32K)
-//	-csv DIR    also write each table as CSV into DIR
-//	-v          print per-cell cost breakdowns
+//	-n N           problem size (default 32768, the paper's 32K)
+//	-csv DIR       also write each table as CSV into DIR
+//	-v             print per-cell cost breakdowns
+//	-trace FILE    write a Chrome trace-event JSON of every run
+//	-metrics FILE  write a Prometheus-style metrics dump of every run
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"dpspark/internal/cluster"
 	"dpspark/internal/core"
 	"dpspark/internal/experiments"
+	"dpspark/internal/obs"
 	"dpspark/internal/report"
 	"dpspark/internal/semiring"
 )
@@ -38,6 +41,8 @@ func main() {
 	n := fs.Int("n", experiments.PaperN, "problem size (DP table is n×n)")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	htmlOut := fs.String("html", "", "also write a self-contained HTML report to this file")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of all runs to this file")
+	metricsOut := fs.String("metrics", "", "write a Prometheus-style metrics dump of all runs to this file")
 	verbose := fs.Bool("v", false, "print per-cell cost breakdowns")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -45,6 +50,11 @@ func main() {
 	if *htmlOut != "" {
 		htmlReport = report.NewHTMLReport(fmt.Sprintf("dpspark evaluation (n=%d)", *n))
 	}
+	observer := obs.New()
+	if *traceOut != "" {
+		observer.EnableTrace(true)
+	}
+	experiments.SetObserver(observer)
 
 	var run func(name string) error
 	run = func(name string) error {
@@ -134,6 +144,37 @@ func main() {
 				}
 			}
 			return nil
+		case "apsp":
+			// One observable FW-APSP run: the -trace/-metrics smoke test.
+			cells := []struct {
+				name string
+				cell experiments.Cell
+			}{
+				{"IM rec16 omp16 b=1024", experiments.Cell{Bench: experiments.FW, N: *n, Driver: core.IM,
+					Block: 1024, Recursive: true, RShared: 16, Threads: 16}},
+				{"CB rec16 omp16 b=1024", experiments.Cell{Bench: experiments.FW, N: *n, Driver: core.CB,
+					Block: 1024, Recursive: true, RShared: 16, Threads: 16}},
+			}
+			rows := make([]report.BreakdownRow, 0, len(cells))
+			for _, c := range cells {
+				r := experiments.Run(c.cell)
+				if r.Err != nil {
+					return r.Err
+				}
+				st := r.Stats
+				fmt.Printf("%s: %.0fs (skew %.2f)\n", c.name, st.Time.Seconds(), st.MaxTaskSkew)
+				rows = append(rows, report.BreakdownRow{
+					Name:    c.name,
+					Compute: st.ComputeTime, Shuffle: st.ShuffleTime,
+					Broadcast: st.BroadcastTime, Overhead: st.OverheadTime,
+					ShuffleBytes: st.ShuffleBytes, BroadcastBytes: st.BroadcastBytes,
+					Skew: st.MaxTaskSkew,
+				})
+			}
+			t := report.NewBreakdownTable(
+				fmt.Sprintf("FW-APSP phase breakdown (n=%d, critical path)", *n), rows)
+			fmt.Println()
+			return t.Render(os.Stdout)
 		case "sweep":
 			cl := cluster.Skylake16()
 			outs, best, err := autotune.Search(cl, semiring.NewFloydWarshall(), *n, autotune.DefaultSpace(cl))
@@ -175,6 +216,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dpspark:", err)
 		os.Exit(1)
 	}
+	if err := exportObservability(observer, *traceOut, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dpspark:", err)
+		os.Exit(1)
+	}
 	if htmlReport != nil {
 		f, err := os.Create(*htmlOut)
 		if err != nil {
@@ -192,6 +237,39 @@ func main() {
 
 // htmlReport, when non-nil, collects everything rendered for -html.
 var htmlReport *report.HTMLReport
+
+// exportObservability writes the collected trace and metrics files.
+func exportObservability(o *obs.Observer, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Chrome trace (%d spans) written to %s\n", o.SpanCount(), tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics().WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsPath)
+	}
+	return nil
+}
 
 func emitTable(t *report.Table, results []experiments.Result, csvDir, csvName string, verbose bool) error {
 	if err := t.Render(os.Stdout); err != nil {
@@ -242,8 +320,11 @@ commands:
   headline    best iterative vs best recursive per benchmark
   ablations   partitioner / partitions / r_shared / baseline comparisons
   explain     per-iteration plan: kernel counts, copies, moved bytes
+  apsp        one observable FW-APSP run with its phase breakdown
   sweep       autotune search over the full tuning space
   all         tables, figures and ablations
 
-flags: -n <size> (default 32768), -csv <dir>, -v`))
+flags: -n <size> (default 32768), -csv <dir>, -v,
+       -trace <file> (Chrome trace-event JSON, load in Perfetto),
+       -metrics <file> (Prometheus text dump)`))
 }

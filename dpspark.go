@@ -32,6 +32,7 @@ import (
 	"dpspark/internal/graph"
 	"dpspark/internal/lcs"
 	"dpspark/internal/matrix"
+	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
 )
@@ -53,7 +54,14 @@ type (
 	Cluster = cluster.Cluster
 	// Semiring is a closed semiring for path problems.
 	Semiring = semiring.Semiring
+	// Observer is the observability sink: span tracer plus metrics
+	// registry (internal/obs).
+	Observer = obs.Observer
 )
+
+// NewObserver creates a standalone observer (metrics on, tracing off
+// until EnableTrace) for sharing across sessions.
+func NewObserver() *Observer { return obs.New() }
 
 // Driver kinds (tile-movement strategies).
 const (
@@ -91,8 +99,22 @@ func NewSessionExecutorCores(c *Cluster, execCores int) *Session {
 	return &Session{ctx: rdd.NewContext(rdd.Conf{Cluster: c, ExecutorCores: execCores})}
 }
 
+// NewSessionObserved creates a session that reports spans and metrics
+// into the given observer (pass one observer to several sessions to
+// aggregate a sweep into a single trace/metrics export). execCores ≤ 0
+// uses all physical cores per node.
+func NewSessionObserved(c *Cluster, execCores int, o *Observer) *Session {
+	return &Session{ctx: rdd.NewContext(rdd.Conf{Cluster: c, ExecutorCores: execCores, Observer: o})}
+}
+
 // Context exposes the underlying engine context (ledger, clock, model).
 func (s *Session) Context() *rdd.Context { return s.ctx }
+
+// Observer exposes the session's observability sink: the span tracer
+// (Chrome trace-event export via WriteChromeTrace, opt-in through
+// EnableTrace) and the metrics registry (Prometheus text export via
+// Metrics().WritePrometheus).
+func (s *Session) Observer() *Observer { return s.ctx.Observer() }
 
 // APSP computes all-pairs shortest distances of a directed graph with
 // Floyd-Warshall over the min-plus semiring.

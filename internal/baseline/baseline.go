@@ -14,7 +14,6 @@ package baseline
 
 import (
 	"fmt"
-	"time"
 
 	"dpspark/internal/core"
 	"dpspark/internal/costmodel"
@@ -67,8 +66,7 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 	if cfg.Partitions < 1 {
 		cfg.Partitions = ctx.Cluster().DefaultPartitions()
 	}
-	start := time.Now()
-	clock0 := ctx.Clock()
+	mark := core.MarkRun(ctx)
 	rule := semiring.NewFloydWarshall()
 	exec := kernels.NewIterative(rule)
 	kc := costmodel.KernelConfig{CoTasks: ctx.ExecutorCores()}
@@ -97,13 +95,14 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 		k := k
 
 		// Phase 1: diagonal block.
+		ctx.SetPhase("pivot")
 		diag := rdd.Map(dp.Filter(func(b Block) bool { return b.Key.I == k && b.Key.J == k }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				return rdd.KV(b.Key, apply(tc, semiring.KindA, b.Value, nil, nil, nil))
 			})
 		diagCollected, err := diag.Collect()
 		if err != nil {
-			return nil, statsFrom(ctx, clock0, start, r), err
+			return nil, mark.StatsSince(ctx, r), err
 		}
 		diagBC := rdd.NewBroadcast(ctx, diagCollected)
 		pivot := func() *matrix.Tile { return diagCollected[0].Value }
@@ -113,6 +112,7 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 		isPanel := func(c matrix.Coord) bool {
 			return (c.I == k) != (c.J == k)
 		}
+		ctx.SetPhase("row-col")
 		panels := rdd.Map(dp.Filter(func(b Block) bool { return isPanel(b.Key) }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				diagBC.Get(tc)
@@ -123,7 +123,7 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 			})
 		panelsCollected, err := panels.Collect()
 		if err != nil {
-			return nil, statsFrom(ctx, clock0, start, r), err
+			return nil, mark.StatsSince(ctx, r), err
 		}
 		panelBC := rdd.NewBroadcast(ctx, panelsCollected)
 		panelIdx := make(map[matrix.Coord]*matrix.Tile, len(panelsCollected))
@@ -146,6 +146,7 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 
 		// Phase 3: remaining blocks. The min-plus D update never reads
 		// the pivot tile, so phase 3 only fetches the panel broadcast.
+		ctx.SetPhase("update")
 		interior := rdd.Map(dp.Filter(func(b Block) bool { return b.Key.I != k && b.Key.J != k }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				panelBC.Get(tc)
@@ -155,18 +156,20 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 			})
 
 		dp = rdd.PartitionBy(diag.Union(panels, interior), part)
+		ctx.SetPhase("checkpoint")
 		if err := dp.Checkpoint(); err != nil {
-			return nil, statsFrom(ctx, clock0, start, r), err
+			return nil, mark.StatsSince(ctx, r), err
 		}
 		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
 	}
 
-	stats := statsFrom(ctx, clock0, start, r)
+	ctx.SetPhase("")
+	stats := mark.StatsSince(ctx, r)
 	if bl.Symbolic() {
 		if _, err := dp.Count(); err != nil {
-			return nil, statsFrom(ctx, clock0, start, r), err
+			return nil, mark.StatsSince(ctx, r), err
 		}
-		return nil, statsFrom(ctx, clock0, start, r), nil
+		return nil, mark.StatsSince(ctx, r), nil
 	}
 	final, err := dp.Collect()
 	if err != nil {
@@ -179,15 +182,5 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 			out.SetTile(matrix.Coord{I: b.Key.J, J: b.Key.I}, b.Value.Transpose())
 		}
 	}
-	return out, statsFrom(ctx, clock0, start, r), nil
-}
-
-func statsFrom(ctx *rdd.Context, clock0 simtime.Duration, start time.Time, r int) *core.Stats {
-	elapsed := ctx.Clock() - clock0
-	return &core.Stats{
-		Time:       elapsed,
-		Wall:       time.Since(start),
-		Iterations: r,
-		TimedOut:   elapsed > 8*simtime.Hour,
-	}
+	return out, mark.StatsSince(ctx, r), nil
 }

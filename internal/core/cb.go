@@ -27,8 +27,10 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		k := k
 		f := newFilters(rule, k, run.r)
 		pivotKey := matrix.Coord{I: k, J: k}
+		iterStart := ctx.Clock()
 
 		// Stage 1: A, collected and staged on shared storage.
+		ctx.SetPhase("pivot")
 		aBlock := rdd.Map(dp.Filter(func(b Block) bool { return f.A(b.Key) }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				return rdd.KV(b.Key, applyKernel(tc, exec, kc, semiring.KindA, b.Value, nil, nil, nil))
@@ -41,6 +43,7 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		aIdx := indexBlocks(aCollected)
 
 		// Stage 2: B and C read the pivot from shared storage.
+		ctx.SetPhase("row-col")
 		bcBlocks := rdd.Map(dp.Filter(func(b Block) bool { return f.B(b.Key) || f.C(b.Key) }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				bcA.Get(tc)
@@ -60,6 +63,7 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		// Stage 3: D reads the row and column panels — plus the pivot,
 		// when the rule divides by it — from shared storage; computed
 		// lazily by the closing shuffle.
+		ctx.SetPhase("update")
 		usesPivot := rule.UsesPivot()
 		dBlocks := rdd.Map(dp.Filter(func(b Block) bool { return f.D(b.Key) }),
 			func(tc *rdd.TaskContext, b Block) Block {
@@ -78,14 +82,17 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		dp = rdd.PartitionBy(prev.Union(aBlock, bcBlocks, dBlocks), part)
 
 		// Truncate lineage per generation (see the IM driver).
+		ctx.SetPhase("checkpoint")
 		if err := dp.Checkpoint(); err != nil {
 			return dp, err
 		}
 		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
+		ctx.EmitDriverSpan(fmt.Sprintf("CB iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
 		}
 	}
+	ctx.SetPhase("")
 	return dp, nil
 }
 

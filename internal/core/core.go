@@ -37,6 +37,7 @@ import (
 	"dpspark/internal/costmodel"
 	"dpspark/internal/kernels"
 	"dpspark/internal/matrix"
+	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
 	"dpspark/internal/simtime"
@@ -90,19 +91,6 @@ type Config struct {
 	Partitioner rdd.Partitioner
 }
 
-// Stats reports a run's virtual cost and outcome.
-type Stats struct {
-	// Time is the modelled job time on the configured cluster.
-	Time simtime.Duration
-	// Wall is the real elapsed time of this process (interesting for
-	// real-mode runs; incidental for symbolic runs).
-	Wall time.Duration
-	// Iterations is the grid dimension r the run used.
-	Iterations int
-	// TimedOut reports whether Time exceeded the paper's 8-hour bound.
-	TimedOut bool
-}
-
 // normalize fills Config defaults and validates.
 func (cfg *Config) normalize(ctx *rdd.Context) error {
 	if cfg.Rule == nil {
@@ -149,8 +137,8 @@ func Run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *St
 	if err := cfg.normalize(ctx); err != nil {
 		return nil, nil, err
 	}
-	start := time.Now()
-	clock0 := ctx.Clock()
+	mark := MarkRun(ctx)
+	jobStart := ctx.Clock()
 
 	dp := rdd.ParallelizePairs(ctx, BlocksFromMatrix(bl), cfg.Partitioner)
 	run := &runner{ctx: ctx, cfg: cfg, r: bl.R}
@@ -163,37 +151,31 @@ func Run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *St
 		dp, err = run.inMemory(dp)
 	}
 	if err != nil {
-		return nil, statsFrom(ctx, clock0, start, bl.R), err
+		return nil, mark.StatsSince(ctx, bl.R), err
 	}
 
+	ctx.SetPhase("result")
+	defer ctx.SetPhase("")
 	var out *matrix.Blocked
 	if bl.Symbolic() {
 		// Materialize the final generation without hauling 8·n² bytes to
 		// the driver (count is the terminal action).
 		if _, err = dp.Count(); err != nil {
-			return nil, statsFrom(ctx, clock0, start, bl.R), err
+			return nil, mark.StatsSince(ctx, bl.R), err
 		}
 	} else {
 		blocks, cerr := dp.Collect()
 		if cerr != nil {
-			return nil, statsFrom(ctx, clock0, start, bl.R), cerr
+			return nil, mark.StatsSince(ctx, bl.R), cerr
 		}
 		out, err = MatrixFromBlocks(bl.N, bl.B, bl.R, blocks)
 		if err != nil {
-			return nil, statsFrom(ctx, clock0, start, bl.R), err
+			return nil, mark.StatsSince(ctx, bl.R), err
 		}
 	}
-	return out, statsFrom(ctx, clock0, start, bl.R), nil
-}
-
-func statsFrom(ctx *rdd.Context, clock0 simtime.Duration, start time.Time, r int) *Stats {
-	elapsed := ctx.Clock() - clock0
-	return &Stats{
-		Time:       elapsed,
-		Wall:       time.Since(start),
-		Iterations: r,
-		TimedOut:   elapsed > 8*simtime.Hour,
-	}
+	ctx.EmitDriverSpan(fmt.Sprintf("%s %s run r=%d", cfg.Driver, cfg.KernelName(), bl.R),
+		"run", jobStart, map[string]string{"driver": cfg.Driver.String(), "kernel": cfg.KernelName()})
+	return out, mark.StatsSince(ctx, bl.R), nil
 }
 
 // BlocksFromMatrix flattens a blocked matrix into pair records.
@@ -244,12 +226,27 @@ func (run *runner) kernelConfig() costmodel.KernelConfig {
 	}
 }
 
-// exec builds the kernel implementation for real tiles.
+// exec builds the kernel implementation for real tiles, instrumented so
+// real-mode Apply wall times land in the metrics registry next to the
+// modelled costs.
 func (run *runner) exec() kernels.Exec {
+	var e kernels.Exec
 	if run.cfg.RecursiveKernel {
-		return kernels.NewRecursiveExec(run.cfg.Rule, run.cfg.RShared, run.cfg.Base, run.cfg.Threads)
+		e = kernels.NewRecursiveExec(run.cfg.Rule, run.cfg.RShared, run.cfg.Base, run.cfg.Threads)
+	} else {
+		e = kernels.NewIterative(run.cfg.Rule)
 	}
-	return kernels.NewIterative(run.cfg.Rule)
+	return kernels.Instrument(e, metricsSink{reg: run.ctx.Observer().Metrics()})
+}
+
+// metricsSink routes measured kernel wall times into the registry.
+type metricsSink struct{ reg *obs.Registry }
+
+// ObserveKernel implements kernels.Sink.
+func (s metricsSink) ObserveKernel(name string, kind semiring.Kind, b int, wall time.Duration) {
+	s.reg.Histogram("dpspark_kernel_wall_seconds",
+		obs.Labels{"exec": name, "kind": kind.String()},
+		kernelSecondsBuckets).Observe(wall.Seconds())
 }
 
 // applyKernel prices and (for real tiles) executes one kernel call,
@@ -262,13 +259,31 @@ func (run *runner) exec() kernels.Exec {
 func applyKernel(tc *rdd.TaskContext, exec kernels.Exec, kc costmodel.KernelConfig,
 	kind semiring.Kind, x, u, v, w *matrix.Tile) *matrix.Tile {
 	out := x.Clone()
-	model := tc.Ctx().Model()
+	ctx := tc.Ctx()
+	model := ctx.Model()
 	cost := model.KernelTime(exec.Rule(), kind, x.B, kc)
 	occ := model.Occupancy(kind, kc)
 	tc.ChargeCompute(cost, occ)
 	tc.ChargeIdleThreads(kc.EffectiveThreads() - occ)
+	recordKernelMetrics(ctx, exec, kind, cost, occ)
 	if !out.Symbolic() {
 		exec.Apply(kind, out, u, v, w)
 	}
 	return out
 }
+
+// recordKernelMetrics tracks per-kernel modelled cost and effective
+// parallelism: call counts and cost histograms per (exec, kind), plus the
+// occupancy gauge the effective-parallelism analysis reads.
+func recordKernelMetrics(ctx *rdd.Context, exec kernels.Exec, kind semiring.Kind,
+	cost simtime.Duration, occ int) {
+	reg := ctx.Observer().Metrics()
+	l := obs.Labels{"exec": exec.Name(), "kind": kind.String()}
+	reg.Counter("dpspark_kernel_calls_total", l).Inc()
+	reg.Histogram("dpspark_kernel_seconds", l, kernelSecondsBuckets).Observe(cost.Seconds())
+	reg.Gauge("dpspark_kernel_occupancy", l).SetMax(float64(occ))
+}
+
+// kernelSecondsBuckets spans sub-millisecond base cases to multi-minute
+// monolithic tiles.
+var kernelSecondsBuckets = obs.ExpBuckets(1e-4, 2, 22)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"dpspark/internal/matrix"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
@@ -24,12 +26,14 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		k := k
 		f := newFilters(rule, k, run.r)
 		rest := rule.Restricted(k, run.r)
+		iterStart := ctx.Clock()
 
 		// Stage 1: A updates the pivot tile and replicates it to its
 		// consumers: the B and C panels always, and the D blocks only
 		// when the update rule reads the pivot value (GE's division —
 		// the paper's (r−k−1)² extra copies; FW's min-plus update never
 		// reads c[k,k], the "lighter dependencies" of Fig. 7).
+		ctx.SetPhase("pivot")
 		aIn := dp.Filter(func(b Block) bool { return f.A(b.Key) })
 		pivotToD := rule.UsesPivot()
 		aBlocks := rdd.PartitionBy(
@@ -57,6 +61,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		// Stage 2: B and C update the panels using the pivot copies and
 		// replicate their outputs to the D blocks of their column/row.
 		// Pivot copies addressed to D blocks pass through.
+		ctx.SetPhase("row-col")
 		bcSelf := rdd.MapValues(
 			dp.Filter(func(b Block) bool { return f.B(b.Key) || f.C(b.Key) }),
 			func(_ *rdd.TaskContext, _ matrix.Coord, t *matrix.Tile) Msg { return Msg{RoleSelf, t} })
@@ -91,6 +96,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		// Stage 3: D updates the interior from its assembled operand set;
 		// the already-updated A/B/C tiles pass through. mapPartitions, as
 		// in Listing 1.
+		ctx.SetPhase("update")
 		dSelf := rdd.MapValues(
 			dp.Filter(func(b Block) bool { return f.D(b.Key) }),
 			func(_ *rdd.TaskContext, _ matrix.Coord, t *matrix.Tile) Msg { return Msg{RoleSelf, t} })
@@ -120,14 +126,17 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		// Truncate lineage: without this every later action would replay
 		// all earlier generations' shuffle files (the Spark FW-APSP
 		// implementations checkpoint per generation for the same reason).
+		ctx.SetPhase("checkpoint")
 		if err := dp.Checkpoint(); err != nil {
 			return dp, err
 		}
 		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
+		ctx.EmitDriverSpan(fmt.Sprintf("IM iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
 		}
 	}
+	ctx.SetPhase("")
 	return dp, nil
 }
 

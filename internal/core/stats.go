@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"dpspark/internal/rdd"
+	"dpspark/internal/simtime"
+)
+
+// Stats reports a run's virtual cost and outcome.
+type Stats struct {
+	// Time is the modelled job time on the configured cluster.
+	Time simtime.Duration
+	// Wall is the real elapsed time of this process (interesting for
+	// real-mode runs; incidental for symbolic runs).
+	Wall time.Duration
+	// Iterations is the grid dimension r the run used.
+	Iterations int
+	// TimedOut reports whether Time exceeded the paper's 8-hour bound.
+	TimedOut bool
+
+	// ComputeTime, ShuffleTime, BroadcastTime and OverheadTime decompose
+	// Time along the critical path: kernel/task compute, shuffle I/O
+	// (local-disk staging + fetches), collect/broadcast data movement
+	// (shared-fs + driver network) and scheduling overhead. They sum to
+	// Time (see rdd.Breakdown).
+	ComputeTime, ShuffleTime, BroadcastTime, OverheadTime simtime.Duration
+	// ShuffleBytes is the shuffle data the run staged (write side: equal
+	// to the sum of SpillBytes over the run's stage events).
+	ShuffleBytes int64
+	// BroadcastBytes is the collect/broadcast data the run moved through
+	// the shared filesystem (driver-staged payloads + executor fetches).
+	BroadcastBytes int64
+	// MaxTaskSkew is the worst per-stage straggler ratio MaxTask/MeanTask
+	// observed during the run (1 = perfectly balanced, 0 = no stages).
+	MaxTaskSkew float64
+}
+
+// RunMark snapshots an engine context before a run so StatsSince can
+// report the run's delta. It is the single place Stats (including Wall)
+// is derived, shared by core.Run and the baseline solver.
+type RunMark struct {
+	wall   time.Time
+	clock  simtime.Duration
+	bd     rdd.Breakdown
+	events int
+}
+
+// MarkRun captures the context state at the start of a run.
+func MarkRun(ctx *rdd.Context) RunMark {
+	return RunMark{
+		wall:   time.Now(),
+		clock:  ctx.Clock(),
+		bd:     ctx.Breakdown(),
+		events: len(ctx.Events()),
+	}
+}
+
+// StatsSince builds the run's Stats from everything the context did since
+// the mark.
+func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
+	elapsed := ctx.Clock() - m.clock
+	bd := ctx.Breakdown().Sub(m.bd)
+	skew := 0.0
+	if events := ctx.Events(); m.events < len(events) {
+		for _, ev := range events[m.events:] {
+			if ev.MeanTask > 0 {
+				if s := ev.MaxTask.Seconds() / ev.MeanTask.Seconds(); s > skew {
+					skew = s
+				}
+			}
+		}
+	}
+	return &Stats{
+		Time:           elapsed,
+		Wall:           time.Since(m.wall),
+		Iterations:     iterations,
+		TimedOut:       elapsed > 8*simtime.Hour,
+		ComputeTime:    bd.Compute,
+		ShuffleTime:    bd.Shuffle,
+		BroadcastTime:  bd.Broadcast,
+		OverheadTime:   bd.Overhead,
+		ShuffleBytes:   bd.ShuffleWriteBytes,
+		BroadcastBytes: bd.BroadcastBytes,
+		MaxTaskSkew:    skew,
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// TestStatsPhaseBreakdown checks the acceptance identity on a symbolic
+// cluster run: the four phase components decompose Stats.Time to within
+// 1%, and the traffic/skew/wall fields are populated.
+func TestStatsPhaseBreakdown(t *testing.T) {
+	const n, b = 8192, 1024
+	for _, driver := range []DriverKind{IM, CB} {
+		t.Run(driver.String(), func(t *testing.T) {
+			ctx := clusterCtx()
+			bl := matrix.NewSymbolicBlocked(n, b)
+			_, stats, err := Run(ctx, bl, Config{
+				Rule: semiring.NewFloydWarshall(), BlockSize: b, Driver: driver,
+				RecursiveKernel: true, RShared: 16, Threads: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := stats.ComputeTime + stats.ShuffleTime + stats.BroadcastTime + stats.OverheadTime
+			if diff := math.Abs(sum.Seconds() - stats.Time.Seconds()); diff > 0.01*stats.Time.Seconds() {
+				t.Errorf("phase sum %v != Time %v (diff %.3gs, >1%%)", sum, stats.Time, diff)
+			}
+			if stats.ComputeTime <= 0 || stats.ShuffleTime <= 0 {
+				t.Errorf("compute %v / shuffle %v phases must be positive", stats.ComputeTime, stats.ShuffleTime)
+			}
+			if stats.ShuffleBytes <= 0 {
+				t.Errorf("ShuffleBytes = %d, want > 0", stats.ShuffleBytes)
+			}
+			if stats.MaxTaskSkew < 1 {
+				t.Errorf("MaxTaskSkew = %v, want ≥ 1", stats.MaxTaskSkew)
+			}
+			if stats.Wall <= 0 {
+				t.Errorf("Wall = %v, want > 0", stats.Wall)
+			}
+			// The write-side shuffle total must agree with the event log.
+			var spill int64
+			for _, ev := range ctx.Events() {
+				spill += ev.SpillBytes
+			}
+			if stats.ShuffleBytes != spill {
+				t.Errorf("Stats.ShuffleBytes = %d, events spill sum = %d", stats.ShuffleBytes, spill)
+			}
+		})
+	}
+}
+
+// TestStatsSinceDelta checks stats are deltas from the mark, not
+// context-lifetime totals, when two runs share one context.
+func TestStatsSinceDelta(t *testing.T) {
+	ctx := clusterCtx()
+	bl := matrix.NewSymbolicBlocked(4096, 1024)
+	cfg := Config{Rule: semiring.NewFloydWarshall(), BlockSize: 1024, Driver: IM}
+	_, first, err := Run(ctx, bl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clockAfterFirst := ctx.Clock()
+	_, second, err := Run(ctx, matrix.NewSymbolicBlocked(4096, 1024), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Time <= 0 {
+		t.Fatalf("second run time = %v, want > 0", second.Time)
+	}
+	if got, want := second.Time.Seconds(), (ctx.Clock() - clockAfterFirst).Seconds(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+		t.Errorf("second run Time = %v, want clock delta %v", second.Time, ctx.Clock()-clockAfterFirst)
+	}
+	if second.ShuffleBytes >= first.ShuffleBytes*2 {
+		t.Errorf("second run ShuffleBytes = %d looks cumulative (first = %d)", second.ShuffleBytes, first.ShuffleBytes)
+	}
+}

@@ -49,7 +49,7 @@ func runWithPartitioner(c Cell, grid bool) Result {
 	if c.N == 0 {
 		c.N = PaperN
 	}
-	ctx := rdd.NewContext(rdd.Conf{Cluster: c.Cluster, ExecutorCores: c.ExecutorCores})
+	ctx := rdd.NewContext(rdd.Conf{Cluster: c.Cluster, ExecutorCores: c.ExecutorCores, Observer: obsv})
 	parts := c.Partitions
 	if parts == 0 {
 		parts = c.Cluster.DefaultPartitions()
@@ -70,7 +70,7 @@ func runWithPartitioner(c Cell, grid bool) Result {
 	}
 	bl := matrix.NewSymbolicBlocked(c.N, c.Block)
 	_, stats, err := core.Run(ctx, bl, cfg)
-	res := Result{Cell: c, Err: err, Breakdown: ctx.Ledger().Snapshot()}
+	res := Result{Cell: c, Err: err, Breakdown: ctx.Ledger().Snapshot(), Stats: stats}
 	if stats != nil {
 		res.Time = stats.Time
 		res.TimedOut = stats.TimedOut
@@ -153,10 +153,10 @@ func AblationBaseline(n int) (*report.Table, []Result) {
 	var results []Result
 
 	runBaseline := func(und bool) Result {
-		ctx := rdd.NewContext(rdd.Conf{Cluster: cl})
+		ctx := rdd.NewContext(rdd.Conf{Cluster: cl, Observer: obsv})
 		stats, err := baseline.SolveSymbolic(ctx, n, baseline.Config{BlockSize: 1024, Undirected: und})
 		res := Result{Cell: Cell{Bench: FW, N: n, Block: 1024, Cluster: cl},
-			Err: err, Breakdown: ctx.Ledger().Snapshot()}
+			Err: err, Breakdown: ctx.Ledger().Snapshot(), Stats: stats}
 		if stats != nil {
 			res.Time = stats.Time
 			res.TimedOut = stats.TimedOut

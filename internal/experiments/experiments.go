@@ -14,6 +14,7 @@ import (
 	"dpspark/internal/cluster"
 	"dpspark/internal/core"
 	"dpspark/internal/matrix"
+	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
 	"dpspark/internal/simtime"
@@ -21,6 +22,14 @@ import (
 
 // PaperN is the evaluation's problem size: a 32K×32K DP table.
 const PaperN = 32768
+
+// obsv, when set, is shared by every experiment context so a whole sweep
+// aggregates into one trace/metrics export (cmd/dpspark -trace/-metrics).
+var obsv *obs.Observer
+
+// SetObserver routes the spans and metrics of all subsequent experiment
+// runs into o; nil restores per-run private observers.
+func SetObserver(o *obs.Observer) { obsv = o }
 
 // Benchmark selects one of the paper's two GEP benchmarks.
 type Benchmark int
@@ -82,6 +91,9 @@ type Result struct {
 	Err error
 	// Breakdown attributes resource-seconds by cost category.
 	Breakdown map[simtime.Category]simtime.Duration
+	// Stats is the run's full report (critical-path phase decomposition,
+	// traffic totals, straggler skew); nil when the run failed to start.
+	Stats *core.Stats
 }
 
 // Note renders the failure annotation for charts ("" when the run is
@@ -108,6 +120,7 @@ func Run(c Cell) Result {
 	ctx := rdd.NewContext(rdd.Conf{
 		Cluster:       c.Cluster,
 		ExecutorCores: c.ExecutorCores,
+		Observer:      obsv,
 	})
 	cfg := core.Config{
 		Rule:            c.Bench.Rule(),
@@ -120,7 +133,7 @@ func Run(c Cell) Result {
 	}
 	bl := matrix.NewSymbolicBlocked(c.N, c.Block)
 	_, stats, err := core.Run(ctx, bl, cfg)
-	res := Result{Cell: c, Err: err, Breakdown: ctx.Ledger().Snapshot()}
+	res := Result{Cell: c, Err: err, Breakdown: ctx.Ledger().Snapshot(), Stats: stats}
 	if stats != nil {
 		res.Time = stats.Time
 		res.TimedOut = stats.TimedOut

@@ -1,0 +1,46 @@
+package kernels
+
+import (
+	"time"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// Sink receives real-execution kernel timings from an instrumented Exec.
+// Implementations must be safe for concurrent use: tasks apply kernels
+// from parallel goroutines.
+type Sink interface {
+	// ObserveKernel reports one real Apply: the exec's name, the kernel
+	// kind, the tile dimension and the measured wall time.
+	ObserveKernel(name string, kind semiring.Kind, b int, wall time.Duration)
+}
+
+// Instrument wraps an Exec so every real Apply reports its wall-clock
+// duration to the sink — the measured counterpart of the cost model's
+// predicted kernel time (symbolic runs never call Apply, so they report
+// nothing). A nil sink returns the exec unchanged.
+func Instrument(e Exec, sink Sink) Exec {
+	if sink == nil {
+		return e
+	}
+	return instrumented{inner: e, sink: sink}
+}
+
+type instrumented struct {
+	inner Exec
+	sink  Sink
+}
+
+// Name implements Exec.
+func (x instrumented) Name() string { return x.inner.Name() }
+
+// Rule implements Exec.
+func (x instrumented) Rule() semiring.Rule { return x.inner.Rule() }
+
+// Apply implements Exec, timing the wrapped kernel.
+func (x instrumented) Apply(kind semiring.Kind, xt, u, v, w *matrix.Tile) {
+	start := time.Now()
+	x.inner.Apply(kind, xt, u, v, w)
+	x.sink.ObserveKernel(x.inner.Name(), kind, xt.B, time.Since(start))
+}

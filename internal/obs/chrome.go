@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event JSON objects (the "JSON Object Format" of the
+// trace-event spec): metadata events name processes and threads, complete
+// ("X") events carry the spans. Timestamps are microseconds of virtual
+// time.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeComplete struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the collected spans as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing. One process per
+// registered engine context; thread lanes as named via NameThread (the
+// engine uses one lane per executor core plus a driver and a per-node IO
+// lane). Output is deterministic: metadata sorted by (pid, tid), spans in
+// recording order.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	o.mu.Lock()
+	spans := make([]Span, len(o.spans))
+	copy(spans, o.spans)
+	type procMeta struct {
+		pid  int
+		name string
+	}
+	procs := make([]procMeta, 0, len(o.procs))
+	for pid, name := range o.procs {
+		procs = append(procs, procMeta{pid, name})
+	}
+	type threadMeta struct {
+		pid, tid int
+		name     string
+	}
+	threads := make([]threadMeta, 0, len(o.threads))
+	for key, name := range o.threads {
+		threads = append(threads, threadMeta{key[0], key[1], name})
+	}
+	o.mu.Unlock()
+
+	sort.Slice(procs, func(i, j int) bool { return procs[i].pid < procs[j].pid })
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i].pid != threads[j].pid {
+			return threads[i].pid < threads[j].pid
+		}
+		return threads[i].tid < threads[j].tid
+	})
+
+	events := make([]any, 0, len(procs)+2*len(threads)+len(spans))
+	for _, p := range procs {
+		events = append(events, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: p.pid,
+			Args: map[string]string{"name": p.name},
+		})
+	}
+	for _, t := range threads {
+		events = append(events, chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: t.pid, Tid: t.tid,
+			Args: map[string]string{"name": t.name},
+		})
+		// Keep viewer lanes in tid order (driver, then node/core).
+		events = append(events, chromeMeta{
+			Name: "thread_sort_index", Ph: "M", Pid: t.pid, Tid: t.tid,
+			Args: map[string]string{"sort_index": strconv.Itoa(t.tid)},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeComplete{
+			Name: s.Name, Cat: s.Cat, Ph: "X", Pid: s.Pid, Tid: s.Tid,
+			Ts: s.Start.Seconds() * 1e6, Dur: s.Dur.Seconds() * 1e6,
+			Args: s.Args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

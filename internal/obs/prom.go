@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every metric family in the Prometheus text
+// exposition format, families sorted by name and series by label string,
+// so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	byFamily := make(map[string][]*series)
+	for _, s := range r.series {
+		byFamily[s.family] = append(byFamily[s.family], s)
+	}
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.types {
+		types[k] = v
+	}
+	r.mu.Unlock()
+
+	families := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	var b strings.Builder
+	for _, fam := range families {
+		ss := byFamily[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, types[fam])
+		for _, s := range ss {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", fam, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", fam, s.labels, formatFloat(s.g.Value()))
+			case s.h != nil:
+				buckets, cum, sum, count := s.h.snapshot()
+				for i, ub := range buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, withLE(s.labels, formatFloat(ub)), cum[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam, withLE(s.labels, "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam, s.labels, formatFloat(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam, s.labels, count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLE splices the le="..." bucket label into an encoded label string.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le=%q}`, le)
+	}
+	return fmt.Sprintf(`%s,le=%q}`, strings.TrimSuffix(labels, "}"), le)
+}
+
+// formatFloat renders a float compactly and losslessly for the text
+// format ("0.25", "1e+06", "123456").
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

@@ -1,6 +1,11 @@
 package rdd
 
-import "dpspark/internal/simtime"
+import (
+	"fmt"
+
+	"dpspark/internal/obs"
+	"dpspark/internal/simtime"
+)
 
 // Collect runs a job computing every partition and gathers the records at
 // the driver, charging the transfer across the driver's network link.
@@ -17,8 +22,14 @@ func (r *RDD[T]) Collect() ([]T, error) {
 			bytes += ctx.sizer(rec)
 		}
 	}
+	start := ctx.Clock()
 	ctx.AdvanceDriver(ctx.model.NetTime(bytes), simtime.Network)
 	ctx.AdvanceDriver(ctx.model.SerializeTime(bytes), simtime.Overhead)
+	ctx.Observer().Metrics().
+		Counter("dpspark_collect_bytes_total", obs.Labels{"phase": ctx.CurrentPhase()}).
+		Add(bytes)
+	ctx.EmitDriverSpan("collect", "collect", start,
+		map[string]string{"bytes": fmt.Sprintf("%d", bytes)})
 	return out, ctx.Err()
 }
 

@@ -1,8 +1,10 @@
 package rdd
 
 import (
+	"fmt"
 	"sync"
 
+	"dpspark/internal/obs"
 	"dpspark/internal/simtime"
 )
 
@@ -29,8 +31,15 @@ func NewBroadcast[T any](ctx *Context, items []T) *Broadcast[T] {
 	for _, it := range items {
 		bytes += ctx.sizer(it)
 	}
+	start := ctx.Clock()
 	ctx.AdvanceDriver(ctx.model.SharedWriteTime(bytes), simtime.SharedFS)
 	ctx.Ledger().AddBytes(simtime.SharedFS, bytes)
+	ctx.addBroadcastBytes(bytes)
+	ctx.Observer().Metrics().
+		Counter("dpspark_broadcast_bytes_total", obs.Labels{"phase": ctx.CurrentPhase()}).
+		Add(bytes)
+	ctx.EmitDriverSpan("broadcast write", "broadcast", start,
+		map[string]string{"bytes": fmt.Sprintf("%d", bytes)})
 	return &Broadcast[T]{
 		ctx:     ctx,
 		items:   items,

@@ -7,6 +7,7 @@ import (
 
 	"dpspark/internal/cluster"
 	"dpspark/internal/costmodel"
+	"dpspark/internal/obs"
 	"dpspark/internal/sim"
 	"dpspark/internal/simtime"
 )
@@ -37,6 +38,10 @@ type Conf struct {
 	// MaxTaskAttempts bounds task retries (default 4, Spark's
 	// spark.task.maxFailures).
 	MaxTaskAttempts int
+	// Observer receives the context's spans and metrics. Nil creates a
+	// private observer; pass a shared one to aggregate several contexts
+	// (e.g. a sweep) into one trace/metrics export.
+	Observer *obs.Observer
 }
 
 // Context is the engine's driver: it owns the lineage graph, the shuffle
@@ -47,6 +52,10 @@ type Context struct {
 	model *costmodel.Model
 	simul *sim.Sim
 	sizer Sizer
+	obsv  *obs.Observer
+	pid   int
+
+	laneNames sync.Once
 
 	mu          sync.Mutex
 	nextDataset int
@@ -58,6 +67,50 @@ type Context struct {
 	memErr      error
 	taskErr     error
 	events      []StageEvent
+	phase       string
+	bd          Breakdown
+}
+
+// Breakdown is the context's accumulated critical-path time decomposition
+// plus traffic counters. Unlike the Ledger's overlapping resource-seconds,
+// the four time components sum exactly to the virtual clock: every stage
+// contributes its makespan node's split (sim.StageReport) and every
+// driver-side advance is attributed by category.
+type Breakdown struct {
+	// Compute is kernel/task compute time on the critical path.
+	Compute simtime.Duration
+	// Shuffle is shuffle I/O (local-disk staging + network fetches).
+	Shuffle simtime.Duration
+	// Broadcast is collect/broadcast movement: shared-filesystem traffic
+	// plus driver-side collect transfers.
+	Broadcast simtime.Duration
+	// Overhead is scheduling overhead (job, stage, task launch is inside
+	// Compute; driver bookkeeping lands here).
+	Overhead simtime.Duration
+	// ShuffleWriteBytes and ShuffleFetchBytes count shuffle traffic.
+	ShuffleWriteBytes, ShuffleFetchBytes int64
+	// BroadcastBytes counts shared-filesystem traffic (staged + fetched).
+	BroadcastBytes int64
+}
+
+// Total sums the four time components (equals the clock advance they
+// were accumulated over).
+func (b Breakdown) Total() simtime.Duration {
+	return b.Compute + b.Shuffle + b.Broadcast + b.Overhead
+}
+
+// Sub returns the component-wise difference b − other (for deltas
+// between two snapshots).
+func (b Breakdown) Sub(other Breakdown) Breakdown {
+	return Breakdown{
+		Compute:           b.Compute - other.Compute,
+		Shuffle:           b.Shuffle - other.Shuffle,
+		Broadcast:         b.Broadcast - other.Broadcast,
+		Overhead:          b.Overhead - other.Overhead,
+		ShuffleWriteBytes: b.ShuffleWriteBytes - other.ShuffleWriteBytes,
+		ShuffleFetchBytes: b.ShuffleFetchBytes - other.ShuffleFetchBytes,
+		BroadcastBytes:    b.BroadcastBytes - other.BroadcastBytes,
+	}
 }
 
 // shuffleState is a materialized shuffle, indexed by reduce partition.
@@ -93,14 +146,65 @@ func NewContext(conf Conf) *Context {
 	if conf.Params != nil {
 		m.P = *conf.Params
 	}
-	return &Context{
+	if conf.Observer == nil {
+		conf.Observer = obs.New()
+	}
+	c := &Context{
 		conf:     conf,
 		model:    m,
 		simul:    sim.New(m, conf.ExecutorCores),
 		sizer:    conf.Sizer,
+		obsv:     conf.Observer,
 		shuffles: make(map[int]*shuffleState),
 		memUsed:  make([]int64, conf.Cluster.Nodes),
 	}
+	c.pid = c.obsv.RegisterProcess(fmt.Sprintf("dpspark %s×%d", conf.Cluster, conf.ExecutorCores))
+	c.obsv.NameThread(c.pid, 0, "driver")
+	return c
+}
+
+// Observer returns the context's observability sink (tracer + metrics).
+func (c *Context) Observer() *obs.Observer { return c.obsv }
+
+// TracePid is the context's trace process id (one lane group per context
+// in the Chrome trace).
+func (c *Context) TracePid() int { return c.pid }
+
+// SetPhase labels subsequent work for observability: shuffle dependencies
+// capture the phase current at their creation (so lazily materialized
+// stages are attributed to the driver phase that built them), result
+// stages the phase current at execution.
+func (c *Context) SetPhase(name string) {
+	c.mu.Lock()
+	c.phase = name
+	c.mu.Unlock()
+}
+
+// CurrentPhase returns the active phase label.
+func (c *Context) CurrentPhase() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phase
+}
+
+// Breakdown returns a snapshot of the accumulated critical-path time
+// decomposition; Breakdown().Total() equals Clock().
+func (c *Context) Breakdown() Breakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bd
+}
+
+// EmitDriverSpan records a span on the context's driver lane running from
+// start to the current virtual clock (no-op while tracing is off).
+func (c *Context) EmitDriverSpan(name, cat string, start simtime.Duration, args map[string]string) {
+	if !c.obsv.TraceEnabled() {
+		return
+	}
+	c.obsv.Add(obs.Span{
+		Name: name, Cat: cat, Pid: c.pid, Tid: 0,
+		Start: start, Dur: c.Clock() - start, Args: args,
+	})
 }
 
 // Model returns the cost model (map functions price kernels against it).
@@ -113,7 +217,7 @@ func (c *Context) Cluster() *cluster.Cluster { return c.conf.Cluster }
 func (c *Context) ExecutorCores() int { return c.conf.ExecutorCores }
 
 // Clock returns the job's virtual time so far.
-func (c *Context) Clock() simtime.Duration { return c.simul.Clock }
+func (c *Context) Clock() simtime.Duration { return c.simul.Now() }
 
 // Ledger returns the virtual resource-time ledger.
 func (c *Context) Ledger() *simtime.Ledger { return c.simul.Ledger }
@@ -147,9 +251,31 @@ func (c *Context) recordTaskErr(err error) {
 }
 
 // AdvanceDriver charges driver-side virtual time (used by broadcast and
-// the drivers' per-iteration bookkeeping).
+// the drivers' per-iteration bookkeeping) and attributes it in the
+// breakdown: network and shared-fs charges are collect/broadcast data
+// movement, local-disk charges are shuffle I/O, the rest splits between
+// compute and overhead.
 func (c *Context) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
 	c.simul.AdvanceDriver(d, cat)
+	c.mu.Lock()
+	switch cat {
+	case simtime.Network, simtime.SharedFS:
+		c.bd.Broadcast += d
+	case simtime.LocalDisk:
+		c.bd.Shuffle += d
+	case simtime.Compute:
+		c.bd.Compute += d
+	default:
+		c.bd.Overhead += d
+	}
+	c.mu.Unlock()
+}
+
+// addBroadcastBytes accounts driver-staged broadcast payload bytes.
+func (c *Context) addBroadcastBytes(n int64) {
+	c.mu.Lock()
+	c.bd.BroadcastBytes += n
+	c.mu.Unlock()
 }
 
 // nodeOf places a partition on an executor.
@@ -182,9 +308,29 @@ func (c *Context) releaseCacheMemory(node int, bytes int64) {
 	}
 }
 
+// laneTid maps an executor core (or, at lane == ExecutorCores, the
+// node's I/O lane) to its trace thread id. tid 0 is the driver lane.
+func (c *Context) laneTid(node, lane int) int {
+	return 1 + node*(c.conf.ExecutorCores+1) + lane
+}
+
+// nameTraceLanes registers the per-core and per-node-IO trace lane names
+// (done once, on the first traced stage).
+func (c *Context) nameTraceLanes() {
+	cores := c.conf.ExecutorCores
+	for n := 0; n < c.conf.Cluster.Nodes; n++ {
+		for l := 0; l < cores; l++ {
+			c.obsv.NameThread(c.pid, c.laneTid(n, l), fmt.Sprintf("node%d core%d", n, l))
+		}
+		c.obsv.NameThread(c.pid, c.laneTid(n, cores), fmt.Sprintf("node%d io", n))
+	}
+}
+
 // runStage executes one stage: `parts` tasks running `work`, really (in
 // parallel goroutines) and virtually (through the cluster simulator).
-func (c *Context) runStage(kind StageKind, shuffleID, parts int, work func(tc *TaskContext, split int)) {
+// phase labels the stage for observability (the driver phase that built
+// the stage's lineage).
+func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, work func(tc *TaskContext, split int)) {
 	c.mu.Lock()
 	stageID := c.nextStage
 	c.nextStage++
@@ -257,12 +403,12 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, work func(tc *T
 		wg.Wait()
 	}
 
-	start := c.simul.Clock
-	var spill, fetch int64
+	var spill, fetch, shared int64
 	tasks := make([]sim.Task, parts)
 	for i, tc := range tcs {
 		spill += tc.spill
 		fetch += tc.fetchLocal + tc.fetchRemote
+		shared += tc.sharedRead + tc.sharedWrite
 		tasks[i] = sim.Task{
 			Node:        tc.Node,
 			Compute:     tc.compute,
@@ -275,17 +421,108 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, work func(tc *T
 			SharedWrite: tc.sharedWrite,
 		}
 	}
-	dur := c.simul.RunStage(tasks)
+	rep := c.simul.RunStageReport(tasks)
+
+	c.mu.Lock()
+	c.bd.Compute += rep.Compute
+	c.bd.Shuffle += rep.ShuffleIO
+	c.bd.Broadcast += rep.SharedIO
+	c.bd.Overhead += rep.Overhead
+	c.bd.ShuffleWriteBytes += spill
+	c.bd.ShuffleFetchBytes += fetch
+	c.bd.BroadcastBytes += shared
+	c.mu.Unlock()
+
+	skew := 0.0
+	if rep.MeanTask > 0 {
+		skew = rep.MaxTask.Seconds() / rep.MeanTask.Seconds()
+	}
+	c.recordStageMetrics(kind, phase, parts, spill, fetch, skew, rep)
+	if c.obsv.TraceEnabled() {
+		c.emitStageSpans(kind, phase, stageID, spill, fetch, rep)
+	}
+
 	c.appendEvent(StageEvent{
 		StageID:    stageID,
 		Kind:       kind,
 		Tasks:      parts,
 		ShuffleID:  shuffleID,
-		Start:      start,
-		Duration:   dur,
+		Phase:      phase,
+		Start:      rep.Start,
+		Duration:   rep.Total,
 		SpillBytes: spill,
 		FetchBytes: fetch,
+		MaxTask:    rep.MaxTask,
+		MeanTask:   rep.MeanTask,
 	})
+}
+
+// recordStageMetrics updates the always-on metric families for one
+// executed stage.
+func (c *Context) recordStageMetrics(kind StageKind, phase string, parts int, spill, fetch int64, skew float64, rep sim.StageReport) {
+	reg := c.obsv.Metrics()
+	kl := obs.Labels{"kind": kind.String(), "phase": phase}
+	reg.Counter("dpspark_stages_total", kl).Inc()
+	reg.Counter("dpspark_tasks_total", kl).Add(int64(parts))
+	reg.Counter("dpspark_shuffle_write_bytes_total", kl).Add(spill)
+	reg.Counter("dpspark_shuffle_fetch_bytes_total", kl).Add(fetch)
+	h := reg.Histogram("dpspark_task_seconds", obs.Labels{"kind": kind.String()}, taskSecondsBuckets)
+	for _, ts := range rep.Tasks {
+		h.Observe(ts.Raw.Seconds())
+	}
+	if skew > 0 {
+		reg.Histogram("dpspark_stage_skew", nil, stageSkewBuckets).Observe(skew)
+		reg.Gauge("dpspark_max_task_skew", nil).SetMax(skew)
+	}
+}
+
+// Bucket layouts for the stage metric histograms: task durations span
+// ~100 µs kernels to multi-minute stragglers; skew is MaxTask/MeanTask
+// so it starts at 1 (perfect balance).
+var (
+	taskSecondsBuckets = obs.ExpBuckets(1e-4, 2, 24)
+	stageSkewBuckets   = obs.LinearBuckets(1, 0.25, 24)
+)
+
+// emitStageSpans renders one stage into trace spans: a stage span on the
+// driver lane, an I/O span per active node, and one span per task on its
+// executor-core lane.
+func (c *Context) emitStageSpans(kind StageKind, phase string, stageID int, spill, fetch int64, rep sim.StageReport) {
+	c.laneNames.Do(c.nameTraceLanes)
+	cat := "stage"
+	if phase != "" {
+		cat = "stage," + phase
+	}
+	c.obsv.Add(obs.Span{
+		Name: fmt.Sprintf("stage %d %s", stageID, kind), Cat: cat,
+		Pid: c.pid, Tid: 0, Start: rep.Start, Dur: rep.Total,
+		Args: map[string]string{
+			"phase": phase,
+			"tasks": fmt.Sprint(len(rep.Tasks)),
+			"spill": fmt.Sprintf("%dB", spill),
+			"fetch": fmt.Sprintf("%dB", fetch),
+		},
+	})
+	for n, io := range rep.NodeIO {
+		if io > 0 {
+			c.obsv.Add(obs.Span{
+				Name: fmt.Sprintf("io stage %d", stageID), Cat: "io",
+				Pid: c.pid, Tid: c.laneTid(n, c.conf.ExecutorCores),
+				Start: rep.Start, Dur: io,
+			})
+		}
+	}
+	for _, ts := range rep.Tasks {
+		if ts.Dur <= 0 {
+			continue
+		}
+		c.obsv.Add(obs.Span{
+			Name: fmt.Sprintf("task %d.%d", stageID, ts.Index), Cat: "task",
+			Pid: c.pid, Tid: c.laneTid(ts.Node, ts.Lane),
+			Start: rep.Start + ts.Start, Dur: ts.Dur,
+			Args: map[string]string{"raw": ts.Raw.String()},
+		})
+	}
 }
 
 // ensureUpstream materializes every shuffle the dataset's lineage needs,
@@ -318,10 +555,10 @@ func (c *Context) ensureUpstream(ds *dataset, visited map[*dataset]bool) {
 
 // runJob computes every partition of ds and returns the records.
 func (c *Context) runJob(ds *dataset) [][]Record {
-	c.simul.AdvanceDriver(c.model.JobOverhead(), simtime.Overhead)
+	c.AdvanceDriver(c.model.JobOverhead(), simtime.Overhead)
 	c.ensureUpstream(ds, make(map[*dataset]bool))
 	out := make([][]Record, ds.parts)
-	c.runStage(StageResult, -1, ds.parts, func(tc *TaskContext, split int) {
+	c.runStage(StageResult, -1, ds.parts, c.CurrentPhase(), func(tc *TaskContext, split int) {
 		out[split] = c.iterate(ds, split, tc)
 	})
 	return out

@@ -52,6 +52,9 @@ type shuffleDep struct {
 	id     int
 	parent *dataset
 	part   Partitioner
+	// phase is the driver phase active when the dependency was created;
+	// the lazily-run map stage is attributed to it.
+	phase string
 	// rebuild turns (key, payload) back into a typed record.
 	rebuild func(key, val any) Record
 	// Combiner hooks; nil for plain PartitionBy.

@@ -39,6 +39,9 @@ type StageEvent struct {
 	Tasks int
 	// ShuffleID is the materialized shuffle for map stages, -1 otherwise.
 	ShuffleID int
+	// Phase is the driver phase that built the stage's lineage (set via
+	// Context.SetPhase; "" when unlabelled).
+	Phase string
 	// Start is the virtual clock when the stage began.
 	Start simtime.Duration
 	// Duration is the stage's modelled makespan.
@@ -47,6 +50,9 @@ type StageEvent struct {
 	SpillBytes int64
 	// FetchBytes is the shuffle data read by the stage.
 	FetchBytes int64
+	// MaxTask and MeanTask summarize the stage's raw task durations;
+	// MaxTask/MeanTask is its straggler-skew factor.
+	MaxTask, MeanTask simtime.Duration
 }
 
 // Events returns a copy of the executed-stage log.
@@ -76,18 +82,31 @@ func (c *Context) CountStages(kind StageKind) int {
 	return n
 }
 
-// WriteTimeline renders the stage timeline, one line per stage.
+// WriteTimeline renders the stage timeline, one line per stage, followed
+// by a totals footer. The event log is snapshotted once up front, so the
+// lines and the footer describe the same set of stages even if jobs are
+// still appending events concurrently.
 func (c *Context) WriteTimeline(w io.Writer) error {
-	for _, ev := range c.Events() {
+	events := c.Events()
+	var spill, fetch int64
+	for _, ev := range events {
 		shuffle := ""
 		if ev.ShuffleID >= 0 {
 			shuffle = fmt.Sprintf(" shuffle=%d", ev.ShuffleID)
 		}
-		if _, err := fmt.Fprintf(w, "stage %4d %-11s tasks=%-5d start=%-10v dur=%-10v spill=%dB fetch=%dB%s\n",
+		phase := ""
+		if ev.Phase != "" {
+			phase = " phase=" + ev.Phase
+		}
+		if _, err := fmt.Fprintf(w, "stage %4d %-11s tasks=%-5d start=%-10v dur=%-10v spill=%dB fetch=%dB%s%s\n",
 			ev.StageID, ev.Kind, ev.Tasks, ev.Start, ev.Duration,
-			ev.SpillBytes, ev.FetchBytes, shuffle); err != nil {
+			ev.SpillBytes, ev.FetchBytes, shuffle, phase); err != nil {
 			return err
 		}
+		spill += ev.SpillBytes
+		fetch += ev.FetchBytes
 	}
-	return nil
+	_, err := fmt.Fprintf(w, "total %4d stages spill=%dB fetch=%dB\n",
+		len(events), spill, fetch)
+	return err
 }

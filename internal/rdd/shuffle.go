@@ -14,6 +14,7 @@ func (c *Context) newShuffleDep(parent *dataset, part Partitioner,
 		id:         id,
 		parent:     parent,
 		part:       part,
+		phase:      c.CurrentPhase(),
 		rebuild:    rebuild,
 		create:     create,
 		mergeValue: mergeValue,
@@ -41,7 +42,7 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 	perSplit := make([]map[int][]keyedRecord, mapParts)
 	spillBySplit := make([]int64, mapParts)
 
-	c.runStage(StageShuffleMap, sd.id, mapParts, func(tc *TaskContext, split int) {
+	c.runStage(StageShuffleMap, sd.id, mapParts, sd.phase, func(tc *TaskContext, split int) {
 		recs := c.iterate(sd.parent, split, tc)
 		if len(recs) == 0 {
 			return

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+
+	"dpspark/internal/simtime"
+)
+
+// BreakdownRow is one run's critical-path phase decomposition plus
+// traffic totals (mirrors core.Stats without importing it).
+type BreakdownRow struct {
+	// Name labels the run (configuration string).
+	Name string
+	// Compute, Shuffle, Broadcast and Overhead sum to the run's time.
+	Compute, Shuffle, Broadcast, Overhead simtime.Duration
+	// ShuffleBytes and BroadcastBytes are the run's data movement.
+	ShuffleBytes, BroadcastBytes int64
+	// Skew is the worst per-stage MaxTask/MeanTask straggler ratio.
+	Skew float64
+}
+
+// NewBreakdownTable renders per-run phase breakdowns as a table: one row
+// per run, columns for each phase, the phase sum, traffic and skew.
+func NewBreakdownTable(title string, rows []BreakdownRow) *Table {
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Name
+	}
+	t := NewTable(title, "run", names,
+		[]string{"compute", "shuffle", "broadcast", "overhead", "total", "shuffleB", "bcastB", "skew"})
+	for i, r := range rows {
+		total := r.Compute + r.Shuffle + r.Broadcast + r.Overhead
+		t.Set(i, 0, Seconds(r.Compute, false))
+		t.Set(i, 1, Seconds(r.Shuffle, false))
+		t.Set(i, 2, Seconds(r.Broadcast, false))
+		t.Set(i, 3, Seconds(r.Overhead, false))
+		t.Set(i, 4, Seconds(total, false))
+		t.Set(i, 5, Bytes(r.ShuffleBytes))
+		t.Set(i, 6, Bytes(r.BroadcastBytes))
+		t.Set(i, 7, fmt.Sprintf("%.2f", r.Skew))
+	}
+	return t
+}
+
+// Bytes renders a byte count with a binary unit ("1.5GiB", "312MiB",
+// "0B").
+func Bytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"dpspark/internal/costmodel"
 	"dpspark/internal/simtime"
@@ -55,7 +56,10 @@ func (e ErrDiskFull) Error() string {
 		e.Node, e.Staged, e.Cap)
 }
 
-// Sim accumulates virtual time across the stages of a job.
+// Sim accumulates virtual time across the stages of a job. Methods are
+// safe for concurrent use (parallel jobs on one engine context serialize
+// their stage submissions on the internal mutex); direct field reads are
+// only safe while no stage is in flight.
 type Sim struct {
 	Model *costmodel.Model
 	// ExecCores is the number of concurrent task slots per executor
@@ -73,8 +77,55 @@ type Sim struct {
 	// Ledger attributes resource-seconds by category.
 	Ledger *simtime.Ledger
 
+	mu       sync.Mutex
 	diskUsed []int64
 	failure  error
+}
+
+// TaskSpan places one task of a stage on its executor's core lanes for
+// tracing: Start is relative to the stage's begin, Dur is the task's
+// share of the node's fluid compute time, Raw its standalone duration
+// (compute plus shuffle (de)serialization — the skew signal).
+type TaskSpan struct {
+	// Index is the task's position in the stage's task slice.
+	Index int
+	// Node is the executor, Lane the core slot within it.
+	Node, Lane int
+	// Start is the lane-relative begin offset from the stage start.
+	Start simtime.Duration
+	// Dur is the scheduled (scaled) duration on the lane.
+	Dur simtime.Duration
+	// Raw is the task's unscaled standalone duration.
+	Raw simtime.Duration
+}
+
+// StageReport decomposes one executed stage. The breakdown follows the
+// stage's critical (makespan) node, so Compute + ShuffleIO + SharedIO +
+// Overhead equals Total exactly — summing the per-stage reports of a job
+// therefore reproduces the job's clock advance, unlike the Ledger's
+// overlapping resource-seconds.
+type StageReport struct {
+	// Start is the virtual clock when the stage began.
+	Start simtime.Duration
+	// Total is the stage's clock advance: makespan plus stage overhead.
+	Total simtime.Duration
+	// Compute is the critical node's compute time (incl. task launch).
+	Compute simtime.Duration
+	// ShuffleIO is the critical node's shuffle I/O: local-disk staging
+	// reads/writes plus remote fetches over the network.
+	ShuffleIO simtime.Duration
+	// SharedIO is the critical node's shared-filesystem traffic time
+	// (the Collect-Broadcast redistribution path).
+	SharedIO simtime.Duration
+	// Overhead is the per-stage scheduling overhead.
+	Overhead simtime.Duration
+	// MaxTask and MeanTask summarize the raw task durations across all
+	// nodes; MaxTask/MeanTask is the stage's straggler-skew factor.
+	MaxTask, MeanTask simtime.Duration
+	// NodeIO is each node's I/O time (zero for idle nodes).
+	NodeIO []simtime.Duration
+	// Tasks is the per-task lane schedule for tracing.
+	Tasks []TaskSpan
 }
 
 // New returns a simulator for the model's cluster.
@@ -93,20 +144,35 @@ func New(m *costmodel.Model, execCores int) *Sim {
 }
 
 // Err returns the first failure observed (disk full), if any.
-func (s *Sim) Err() error { return s.failure }
+func (s *Sim) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+// Now returns the current virtual clock.
+func (s *Sim) Now() simtime.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Clock
+}
 
 // TimedOut reports whether the virtual clock passed the 8-hour bound.
-func (s *Sim) TimedOut() bool { return s.Clock > Timeout }
+func (s *Sim) TimedOut() bool { return s.Now() > Timeout }
 
 // AdvanceDriver charges driver-side time (collect/broadcast, scheduling).
 func (s *Sim) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
+	s.mu.Lock()
 	s.Clock += d
+	s.mu.Unlock()
 	s.Ledger.Add(cat, d)
 }
 
 // ReleaseShuffle frees staged shuffle bytes (Spark's shuffle cleanup when
 // an old RDD generation is no longer referenced).
 func (s *Sim) ReleaseShuffle(node int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if node >= 0 && node < len(s.diskUsed) {
 		s.diskUsed[node] -= bytes
 		if s.diskUsed[node] < 0 {
@@ -117,6 +183,8 @@ func (s *Sim) ReleaseShuffle(node int, bytes int64) {
 
 // DiskUsed returns the staged bytes currently on a node.
 func (s *Sim) DiskUsed(node int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if node < 0 || node >= len(s.diskUsed) {
 		return 0
 	}
@@ -126,17 +194,34 @@ func (s *Sim) DiskUsed(node int) int64 {
 // RunStage schedules one stage's tasks and advances the clock by the
 // stage's makespan (slowest node) plus the stage overhead.
 func (s *Sim) RunStage(tasks []Task) simtime.Duration {
+	return s.RunStageReport(tasks).Total
+}
+
+// RunStageReport is RunStage plus the stage's observability report: the
+// critical-node time decomposition, the straggler-skew summary and the
+// per-task lane schedule the tracer renders.
+func (s *Sim) RunStageReport(tasks []Task) StageReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
 	nodes := s.Model.C.Nodes
 	cores := s.Model.C.Node.Cores
 	perNode := make([][]Task, nodes)
-	for _, t := range tasks {
+	perNodeIdx := make([][]int, nodes)
+	for i, t := range tasks {
 		n := t.Node % nodes
 		if n < 0 {
 			n += nodes
 		}
 		perNode[n] = append(perNode[n], t)
+		perNodeIdx[n] = append(perNodeIdx[n], i)
 	}
 
+	rep := StageReport{
+		Start:  s.Clock,
+		NodeIO: make([]simtime.Duration, nodes),
+	}
+	var rawSum simtime.Duration
 	var makespan simtime.Duration
 	for n, q := range perNode {
 		if len(q) == 0 {
@@ -154,11 +239,11 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 		// Node-level I/O: shuffle reads come off disks and (for remote
 		// chunks) through the node's link; shuffle writes and shared-fs
 		// traffic are serial with compute.
-		io := s.Model.DiskReadTime(fetchLocal+fetchRemote) +
+		shuffleIO := s.Model.DiskReadTime(fetchLocal+fetchRemote) +
 			s.Model.NetTime(fetchRemote) +
-			s.Model.DiskWriteTime(spill) +
-			s.Model.SharedReadTime(sharedR) +
-			s.Model.SharedWriteTime(sharedW)
+			s.Model.DiskWriteTime(spill)
+		sharedIO := s.Model.SharedReadTime(sharedR) + s.Model.SharedWriteTime(sharedW)
+		io := shuffleIO + sharedIO
 		s.Ledger.Add(simtime.LocalDisk, s.Model.DiskReadTime(fetchLocal+fetchRemote)+s.Model.DiskWriteTime(spill))
 		s.Ledger.Add(simtime.Network, s.Model.NetTime(fetchRemote))
 		s.Ledger.Add(simtime.SharedFS, s.Model.SharedReadTime(sharedR)+s.Model.SharedWriteTime(sharedW))
@@ -179,7 +264,8 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 		var longest simtime.Duration
 		var busyTasks int
 		overhead := s.Model.TaskOverhead()
-		for _, t := range q {
+		raw := make([]simtime.Duration, len(q))
+		for i, t := range q {
 			th := t.Threads
 			if th < 1 {
 				th = 1
@@ -188,6 +274,7 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 			// the task (pySpark pickling).
 			ser := s.Model.SerializeTime(t.Spill + t.FetchLocal + t.FetchRemote)
 			c := t.Compute + ser
+			raw[i] = c
 			workThreadSec += t.Compute.Seconds()*float64(th) + ser.Seconds()
 			idleThreadSec += t.Compute.Seconds() * float64(t.IdleThreads)
 			sumCompute += c.Seconds()
@@ -196,6 +283,10 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 			}
 			if c > longest {
 				longest = c
+			}
+			rawSum += c
+			if c > rep.MaxTask {
+				rep.MaxTask = c
 			}
 		}
 		var compute simtime.Duration
@@ -232,6 +323,7 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 				compute = longest
 			}
 		}
+		fluid := compute
 		// Task launch overhead amortizes across slots.
 		slots := s.ExecCores
 		if slots > len(q) {
@@ -249,17 +341,63 @@ func (s *Sim) RunStage(tasks []Task) simtime.Duration {
 			s.failure = ErrDiskFull{Node: n, Staged: s.diskUsed[n], Cap: s.Model.C.Node.Disk.Capacity}
 		}
 
+		// Lane schedule for the tracer: list-schedule the node's tasks
+		// greedily onto its executor-core lanes, each task's length its
+		// share of the node's fluid compute window, lanes starting after
+		// the node's serial I/O (matching the model's io + compute order).
+		rep.NodeIO[n] = io
+		lanes := s.ExecCores
+		if busyTasks > 0 && busyTasks < lanes {
+			lanes = busyTasks
+		}
+		if lanes < 1 {
+			lanes = 1
+		}
+		scale := 0.0
+		if sumCompute > 0 {
+			scale = fluid.Seconds() * float64(lanes) / sumCompute
+		}
+		laneEnd := make([]simtime.Duration, lanes)
+		for i := range laneEnd {
+			laneEnd[i] = io
+		}
+		for i := range q {
+			lane := 0
+			for l := 1; l < lanes; l++ {
+				if laneEnd[l] < laneEnd[lane] {
+					lane = l
+				}
+			}
+			dur := simtime.Duration(raw[i].Seconds() * scale)
+			rep.Tasks = append(rep.Tasks, TaskSpan{
+				Index: perNodeIdx[n][i],
+				Node:  n,
+				Lane:  lane,
+				Start: laneEnd[lane],
+				Dur:   dur,
+				Raw:   raw[i],
+			})
+			laneEnd[lane] += dur
+		}
+
 		if total := io + compute; total > makespan {
 			makespan = total
+			rep.Compute = compute
+			rep.ShuffleIO = shuffleIO
+			rep.SharedIO = sharedIO
 		}
 	}
 
-	total := makespan + s.Model.StageOverhead()
-	s.Clock += total
-	s.Ledger.Add(simtime.Overhead, s.Model.StageOverhead())
+	rep.Overhead = s.Model.StageOverhead()
+	rep.Total = makespan + rep.Overhead
+	if len(tasks) > 0 {
+		rep.MeanTask = rawSum / simtime.Duration(float64(len(tasks)))
+	}
+	s.Clock += rep.Total
+	s.Ledger.Add(simtime.Overhead, rep.Overhead)
 	s.Ledger.CountStage()
 	for range tasks {
 		s.Ledger.CountTask()
 	}
-	return total
+	return rep
 }
