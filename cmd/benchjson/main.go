@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so benchmark results can be
+// committed (BENCH_kernels.json, BENCH_engine.json) and diffed across
+// PRs — the repo's perf trajectory.
+//
+//	go test -run '^$' -bench 'Kernel' -benchmem . | benchjson -o BENCH_kernels.json
+//
+// The output intentionally carries no timestamp: reruns on the same
+// machine with unchanged performance produce byte-identical files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix, e.g. "KernelIterative/D/1024".
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS during the run.
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is present when the benchmark calls b.SetBytes.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp are present under -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units (model_s, speedup, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the whole converted benchmark run.
+type Doc struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test bench output: header "key: value" lines, then
+// one line per benchmark, then the ok/PASS trailer (ignored).
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	doc := &Doc{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-8   12  345 ns/op  6 MB/s  7 B/op  8 allocs/op  9.5 model_s
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	r := Result{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	if i := strings.LastIndex(r.Name, "-"); i >= 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = procs
+			r.Name = r.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q", line)
+	}
+	r.Iterations = iters
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "MB/s":
+			r.MBPerS = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, nil
+}

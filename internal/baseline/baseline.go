@@ -82,8 +82,9 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 	}
 	dp := rdd.ParallelizePairs(ctx, blocks, part)
 
+	pool := matrix.DefaultPool
 	apply := func(tc *rdd.TaskContext, kind semiring.Kind, x, u, v, w *matrix.Tile) *matrix.Tile {
-		out := x.Clone()
+		out := pool.Clone(x)
 		tc.ChargeCompute(ctx.Model().KernelTime(rule, kind, x.B, kc), 1)
 		if !out.Symbolic() {
 			exec.Apply(kind, out, u, v, w)
@@ -131,14 +132,15 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 			panelIdx[b.Key] = b.Value
 		}
 		// lookup serves (i,k)/(k,j) tiles, transposing the mirror tile
-		// when only the other triangle is stored.
-		lookup := func(c matrix.Coord) *matrix.Tile {
+		// into a pooled temporary when only the other triangle is stored;
+		// the second result reports whether the caller must release it.
+		lookup := func(c matrix.Coord) (*matrix.Tile, bool) {
 			if t, ok := panelIdx[c]; ok {
-				return t
+				return t, false
 			}
 			if cfg.Undirected {
 				if t, ok := panelIdx[matrix.Coord{I: c.J, J: c.I}]; ok {
-					return t.Transpose()
+					return pool.Transpose(t), true
 				}
 			}
 			panic(fmt.Sprintf("baseline: panel tile %v missing", c))
@@ -150,9 +152,18 @@ func run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *co
 		interior := rdd.Map(dp.Filter(func(b Block) bool { return b.Key.I != k && b.Key.J != k }),
 			func(tc *rdd.TaskContext, b Block) Block {
 				panelBC.Get(tc)
-				u := lookup(matrix.Coord{I: b.Key.I, J: k})
-				v := lookup(matrix.Coord{I: k, J: b.Key.J})
-				return rdd.KV(b.Key, apply(tc, semiring.KindD, b.Value, u, v, nil))
+				u, uTmp := lookup(matrix.Coord{I: b.Key.I, J: k})
+				v, vTmp := lookup(matrix.Coord{I: k, J: b.Key.J})
+				out := rdd.KV(b.Key, apply(tc, semiring.KindD, b.Value, u, v, nil))
+				// The kernel only reads its operands; transposed
+				// temporaries recycle as soon as it returns.
+				if uTmp {
+					pool.Release(u)
+				}
+				if vTmp {
+					pool.Release(v)
+				}
+				return out
 			})
 
 		dp = rdd.PartitionBy(diag.Union(panels, interior), part)

@@ -40,7 +40,6 @@ import (
 	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
-	"dpspark/internal/simtime"
 )
 
 // Block is one DP-table tile record: the pair RDD element of §IV-C.
@@ -178,11 +177,15 @@ func Run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *St
 	return out, mark.StatsSince(ctx, bl.R), nil
 }
 
-// BlocksFromMatrix flattens a blocked matrix into pair records.
+// BlocksFromMatrix flattens a blocked matrix into pair records. The tiles
+// are disowned (gen 0) so the first kernel to touch one takes a defensive
+// copy — Run's contract is that the input is never mutated.
 func BlocksFromMatrix(bl *matrix.Blocked) []Block {
 	out := make([]Block, 0, bl.R*bl.R)
 	for _, c := range bl.Coords() {
-		out = append(out, rdd.KV(c, bl.Tile(c)))
+		t := bl.Tile(c)
+		t.SetGen(0)
+		out = append(out, rdd.KV(c, t))
 	}
 	return out
 }
@@ -200,6 +203,9 @@ func MatrixFromBlocks(n, b, r int, blocks []Block) (*matrix.Blocked, error) {
 			return nil, fmt.Errorf("core: duplicate block %v in result", blk.Key)
 		}
 		seen[blk.Key] = true
+		// Disown the tile: it now belongs to the caller, and feeding it
+		// into a later Run must force a fresh defensive copy.
+		blk.Value.SetGen(0)
 		out.SetTile(blk.Key, blk.Value)
 	}
 	if len(seen) != r*r {
@@ -226,62 +232,105 @@ func (run *runner) kernelConfig() costmodel.KernelConfig {
 	}
 }
 
-// exec builds the kernel implementation for real tiles, instrumented so
-// real-mode Apply wall times land in the metrics registry next to the
-// modelled costs.
-func (run *runner) exec() kernels.Exec {
+// newKernelRunner builds the run's kernel applicator: the configured exec
+// (instrumented for wall-time metrics), the cost-model kernel description
+// and the per-(exec, kind) metric handles, resolved once here instead of a
+// map-build-plus-registry-lookup per kernel call.
+func (run *runner) newKernelRunner() *kernelRunner {
 	var e kernels.Exec
 	if run.cfg.RecursiveKernel {
 		e = kernels.NewRecursiveExec(run.cfg.Rule, run.cfg.RShared, run.cfg.Base, run.cfg.Threads)
 	} else {
 		e = kernels.NewIterative(run.cfg.Rule)
 	}
-	return kernels.Instrument(e, metricsSink{reg: run.ctx.Observer().Metrics()})
+	reg := run.ctx.Observer().Metrics()
+	var sink metricsSink
+	kr := &kernelRunner{
+		kc:   run.kernelConfig(),
+		pool: matrix.DefaultPool,
+	}
+	for kind := semiring.KindA; kind <= semiring.KindD; kind++ {
+		l := obs.Labels{"exec": e.Name(), "kind": kind.String()}
+		kr.m[kind] = kindMetrics{
+			calls: reg.Counter("dpspark_kernel_calls_total", l),
+			cost:  reg.Histogram("dpspark_kernel_seconds", l, kernelSecondsBuckets),
+			occ:   reg.Gauge("dpspark_kernel_occupancy", l),
+		}
+		sink.wall[kind] = reg.Histogram("dpspark_kernel_wall_seconds", l, kernelSecondsBuckets)
+	}
+	kr.exec = kernels.Instrument(e, sink)
+	return kr
 }
 
-// metricsSink routes measured kernel wall times into the registry.
-type metricsSink struct{ reg *obs.Registry }
+// metricsSink routes measured kernel wall times into pre-resolved
+// histograms — one per kernel kind for the run's single exec.
+type metricsSink struct{ wall [4]*obs.Histogram }
 
 // ObserveKernel implements kernels.Sink.
 func (s metricsSink) ObserveKernel(name string, kind semiring.Kind, b int, wall time.Duration) {
-	s.reg.Histogram("dpspark_kernel_wall_seconds",
-		obs.Labels{"exec": name, "kind": kind.String()},
-		kernelSecondsBuckets).Observe(wall.Seconds())
+	s.wall[kind].Observe(wall.Seconds())
 }
 
-// applyKernel prices and (for real tiles) executes one kernel call,
-// returning the freshly updated tile. The input tile is cloned first:
-// RDD records are immutable, and lineage recomputation (which the CB
-// driver performs, exactly like Spark without .cache()) must be able to
-// re-run the kernel on the original value. The charged thread width is
-// the kernel's occupancy — OMP threads beyond its exploitable
-// parallelism sleep and do not contend for the node's cores.
-func applyKernel(tc *rdd.TaskContext, exec kernels.Exec, kc costmodel.KernelConfig,
-	kind semiring.Kind, x, u, v, w *matrix.Tile) *matrix.Tile {
-	out := x.Clone()
-	ctx := tc.Ctx()
-	model := ctx.Model()
-	cost := model.KernelTime(exec.Rule(), kind, x.B, kc)
-	occ := model.Occupancy(kind, kc)
+// kindMetrics holds the resolved modelled-cost metric handles for one
+// kernel kind.
+type kindMetrics struct {
+	calls *obs.Counter
+	cost  *obs.Histogram
+	occ   *obs.Gauge
+}
+
+// kernelRunner applies kernels for one driver run. gen is the current
+// driver iteration's ownership tag (uint32(k)+1); the drivers advance it
+// at the top of each iteration.
+type kernelRunner struct {
+	exec kernels.Exec
+	kc   costmodel.KernelConfig
+	pool *matrix.TilePool
+	gen  uint32
+	m    [4]kindMetrics
+}
+
+// apply prices and (for real tiles) executes one kernel call, returning
+// the updated tile. RDD records must behave as immutable values under
+// lineage recomputation (which the CB driver performs every iteration,
+// exactly like Spark without .cache()), but a deep copy per call is only
+// needed when a replay could still observe the input. The gen tag tracks
+// that: gen 0 marks a tile the engine does not own (user input — clone it
+// into a pooled slab before mutating); a tile owned by an earlier
+// iteration is mutated in place, because its pre-kernel value is
+// recoverable from the checkpointed source records and nothing replays
+// across a checkpoint; and a tile already tagged with the current
+// iteration has this kernel's result — the call is a lineage replay (CB's
+// deliberate recompute, or a task retry) and returns it unchanged. Either
+// way the modelled cost is charged in full: Spark really does recompute.
+// The charged thread width is the kernel's occupancy — OMP threads beyond
+// its exploitable parallelism sleep and do not contend for the node's
+// cores.
+func (kr *kernelRunner) apply(tc *rdd.TaskContext, kind semiring.Kind,
+	x, u, v, w *matrix.Tile) *matrix.Tile {
+	model := tc.Ctx().Model()
+	cost := model.KernelTime(kr.exec.Rule(), kind, x.B, kr.kc)
+	occ := model.Occupancy(kind, kr.kc)
 	tc.ChargeCompute(cost, occ)
-	tc.ChargeIdleThreads(kc.EffectiveThreads() - occ)
-	recordKernelMetrics(ctx, exec, kind, cost, occ)
-	if !out.Symbolic() {
-		exec.Apply(kind, out, u, v, w)
-	}
-	return out
-}
+	tc.ChargeIdleThreads(kr.kc.EffectiveThreads() - occ)
+	km := &kr.m[kind]
+	km.calls.Inc()
+	km.cost.Observe(cost.Seconds())
+	km.occ.SetMax(float64(occ))
 
-// recordKernelMetrics tracks per-kernel modelled cost and effective
-// parallelism: call counts and cost histograms per (exec, kind), plus the
-// occupancy gauge the effective-parallelism analysis reads.
-func recordKernelMetrics(ctx *rdd.Context, exec kernels.Exec, kind semiring.Kind,
-	cost simtime.Duration, occ int) {
-	reg := ctx.Observer().Metrics()
-	l := obs.Labels{"exec": exec.Name(), "kind": kind.String()}
-	reg.Counter("dpspark_kernel_calls_total", l).Inc()
-	reg.Histogram("dpspark_kernel_seconds", l, kernelSecondsBuckets).Observe(cost.Seconds())
-	reg.Gauge("dpspark_kernel_occupancy", l).SetMax(float64(occ))
+	gen := x.Gen()
+	if gen == kr.gen && gen != 0 {
+		return x // replay of an already-applied kernel
+	}
+	out := x
+	if gen == 0 {
+		out = kr.pool.Clone(x)
+	}
+	if !out.Symbolic() {
+		kr.exec.Apply(kind, out, u, v, w)
+	}
+	out.SetGen(kr.gen)
+	return out
 }
 
 // kernelSecondsBuckets spans sub-millisecond base cases to multi-minute

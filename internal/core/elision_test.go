@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpspark/internal/matrix"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+
+	"dpspark/internal/cluster"
+)
+
+// TestRunDoesNotMutateInput pins Run's immutability contract now that
+// kernels elide defensive clones: the caller's blocked matrix must be
+// byte-identical after a real-mode run (the first kernel to touch an
+// engine-unowned tile takes a pooled copy).
+func TestRunDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rule := semiring.NewFloydWarshall()
+	in := randomInput(rule, 24, rng)
+	bl := matrix.Block(in, 8, rule.Pad(), rule.PadDiag())
+	snapshot := make(map[matrix.Coord][]float64)
+	for _, c := range bl.Coords() {
+		snapshot[c] = append([]float64(nil), bl.Tile(c).Data...)
+	}
+	for _, driver := range []DriverKind{IM, CB} {
+		if _, _, err := Run(newCtx(), bl, Config{Rule: rule, BlockSize: 8, Driver: driver}); err != nil {
+			t.Fatalf("%v: %v", driver, err)
+		}
+		for _, c := range bl.Coords() {
+			for i, want := range snapshot[c] {
+				if bl.Tile(c).Data[i] != want {
+					t.Fatalf("%v mutated input tile %v at %d", driver, c, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRunOutputReusableAsInput: result tiles are disowned on the way out,
+// so feeding one run's output into a second run must neither corrupt the
+// first result nor break the second (FW is idempotent: FW(FW(d)) =
+// FW(d)).
+func TestRunOutputReusableAsInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rule := semiring.NewFloydWarshall()
+	in := randomInput(rule, 16, rng)
+	want := reference(rule, in)
+	cfg := Config{Rule: rule, BlockSize: 8, Driver: IM}
+
+	bl := matrix.Block(in, 8, rule.Pad(), rule.PadDiag())
+	out1, _, err := Run(newCtx(), bl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := out1.ToDense()
+	out2, _, err := Run(newCtx(), out1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := out2.ToDense().MaxAbsDiff(want); diff != 0 {
+		t.Fatalf("second run diverged from fixpoint by %v", diff)
+	}
+	if diff := out1.ToDense().MaxAbsDiff(first); diff != 0 {
+		t.Fatalf("second run mutated first run's result by %v", diff)
+	}
+}
+
+// TestRealModeFaultRetryMatchesReference: task retries replay kernels on
+// live data — with clone elision the replay must recognize
+// already-applied kernels (the gen tag) and still produce exact results.
+// Every stage's first attempt of partition 0 is killed, for both drivers.
+func TestRealModeFaultRetryMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, rule := range []semiring.Rule{semiring.NewFloydWarshall(), semiring.NewGaussian()} {
+		in := randomInput(rule, 24, rng)
+		want := reference(rule, in)
+		for _, driver := range []DriverKind{IM, CB} {
+			ctx := rdd.NewContext(rdd.Conf{
+				Cluster: cluster.Local(4),
+				FaultInjector: func(stageID, partition, attempt int) bool {
+					return partition == 0 && attempt == 0
+				},
+			})
+			got := runOnce(t, ctx, in, Config{Rule: rule, BlockSize: 8, Driver: driver})
+			if diff := got.MaxAbsDiff(want); diff > tolFor(rule, 24) {
+				t.Fatalf("%s %v under retries: diff %v", rule.Name(), driver, diff)
+			}
+		}
+	}
+}
+
+// TestCBRecomputeElisionExact: CB deliberately recomputes the A and B/C
+// kernels through the closing shuffle's lineage replay. The elided replay
+// must return the identical tile (not a re-application), keeping IM and
+// CB bit-identical in real mode.
+func TestCBRecomputeElisionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	rule := semiring.NewGaussian()
+	in := randomInput(rule, 24, rng)
+	im := runOnce(t, newCtx(), in, Config{Rule: rule, BlockSize: 8, Driver: IM})
+	cb := runOnce(t, newCtx(), in, Config{Rule: rule, BlockSize: 8, Driver: CB})
+	if diff := im.MaxAbsDiff(cb); diff != 0 {
+		t.Fatalf("IM and CB diverged by %v", diff)
+	}
+}

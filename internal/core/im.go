@@ -18,8 +18,7 @@ import (
 func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 	ctx := run.ctx
 	part := run.cfg.Partitioner
-	exec := run.exec()
-	kc := run.kernelConfig()
+	kr := run.newKernelRunner()
 	rule := run.cfg.Rule
 
 	for k := 0; k < run.r; k++ {
@@ -27,6 +26,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		f := newFilters(rule, k, run.r)
 		rest := rule.Restricted(k, run.r)
 		iterStart := ctx.Clock()
+		kr.gen = uint32(k) + 1
 
 		// Stage 1: A updates the pivot tile and replicates it to its
 		// consumers: the B and C panels always, and the D blocks only
@@ -38,8 +38,16 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		pivotToD := rule.UsesPivot()
 		aBlocks := rdd.PartitionBy(
 			rdd.FlatMap(aIn, func(tc *rdd.TaskContext, b Block) []rdd.Pair[matrix.Coord, Msg] {
-				updated := applyKernel(tc, exec, kc, semiring.KindA, b.Value, nil, nil, nil)
-				out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+2*len(rest)+len(rest)*len(rest))
+				updated := kr.apply(tc, semiring.KindA, b.Value, nil, nil, nil)
+				// One Done record, a pivot copy per B and per C panel, and
+				// the (r−k−1)² D-addressed copies only when the rule reads
+				// the pivot (FW's min-plus never does — reserving for them
+				// would quadruple the emit slice for nothing).
+				emits := 1 + 2*len(rest)
+				if pivotToD {
+					emits += len(rest) * len(rest)
+				}
+				out := make([]rdd.Pair[matrix.Coord, Msg], 0, emits)
 				out = append(out, rdd.KV(b.Key, Msg{RoleDone, updated}))
 				for _, j := range rest {
 					out = append(out, rdd.KV(matrix.Coord{I: k, J: j}, Msg{RolePivot, updated}))
@@ -73,15 +81,17 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 					case key.I == k && key.J == k:
 						return []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, ops.Done})}
 					case key.I == k:
-						updated := applyKernel(tc, exec, kc, semiring.KindB, ops.Self, ops.Pivot, nil, ops.Pivot)
-						out := []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, updated})}
+						updated := kr.apply(tc, semiring.KindB, ops.Self, ops.Pivot, nil, ops.Pivot)
+						out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+len(rest))
+						out = append(out, rdd.KV(key, Msg{RoleDone, updated}))
 						for _, i := range rest {
 							out = append(out, rdd.KV(matrix.Coord{I: i, J: key.J}, Msg{RoleRow, updated}))
 						}
 						return out
 					case key.J == k:
-						updated := applyKernel(tc, exec, kc, semiring.KindC, ops.Self, nil, ops.Pivot, ops.Pivot)
-						out := []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, updated})}
+						updated := kr.apply(tc, semiring.KindC, ops.Self, nil, ops.Pivot, ops.Pivot)
+						out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+len(rest))
+						out = append(out, rdd.KV(key, Msg{RoleDone, updated}))
 						for _, j := range rest {
 							out = append(out, rdd.KV(matrix.Coord{I: key.I, J: j}, Msg{RoleCol, updated}))
 						}
@@ -107,7 +117,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 					for _, p := range recs {
 						ops := p.Value
 						if ops.Self != nil {
-							updated := applyKernel(tc, exec, kc, semiring.KindD, ops.Self, ops.Col, ops.Row, ops.Pivot)
+							updated := kr.apply(tc, semiring.KindD, ops.Self, ops.Col, ops.Row, ops.Pivot)
 							out = append(out, rdd.KV(p.Key, updated))
 						} else {
 							out = append(out, rdd.KV(p.Key, ops.Done))

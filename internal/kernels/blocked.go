@@ -1,0 +1,152 @@
+package kernels
+
+import "dpspark/internal/matrix"
+
+// Cache-blocked fast paths for the unaliased kernel shapes.
+//
+// The straight kij loops stream the whole x tile through the cache once
+// per k — at b = 1024 that is 8 MB of x traffic per pivot row, far beyond
+// L2. Blocking k in chunks of kBlock keeps a small set of x rows resident
+// across kBlock consecutive pivots, and unrolling i by 4 reuses each
+// loaded v element across four output rows. Column tiling (jBlock) bounds
+// the working set further for very large tiles.
+//
+// These paths apply only when x does not alias u or v. For kinds A, B and
+// C, Fig. 4 wires x into the operand list (u = v = w = x for A, v = x for
+// B, u = x for C), making the kernel a true in-place DP whose later pivots
+// must observe earlier updates — those stay on the ordered kij loops. The
+// D update reads only u, v and w, so the k loop is a pure reduction over
+// an unchanging operand set and any evaluation order is valid:
+//
+//   - min-plus: x[i,j] = min over k of u[i,k]+v[k,j] (and the original
+//     x[i,j]). min is exact in floating point, so every order produces
+//     bit-identical results.
+//   - Gaussian elimination: x[i,j] -= (u[i,k]/w[k,k])·v[k,j] must apply
+//     ascending in k per element to keep the rounding sequence of the
+//     unblocked loop. The blocked loop keeps k ascending inside each
+//     block and visits blocks in ascending order, so each element sees
+//     the exact update sequence of loopGaussian — bit-identical again.
+//
+// The recursive kernels' quadrant views make the same gating sound: child
+// views of one slab are either identical or fully disjoint, so comparing
+// the address of the first element decides aliasing exactly.
+const (
+	// kBlock is the pivot-block depth: 4 unrolled x rows × kBlock v rows
+	// × 8 bytes stays L1-resident at jBlock columns.
+	kBlock = 32
+	// jBlock is the column tile width for tiles wider than it.
+	jBlock = 512
+)
+
+// sameView reports whether two views address the same region. Views
+// produced by the tile/quadrant decomposition are identical or disjoint,
+// never partially overlapping, so first-element identity is exact.
+func sameView(a, b matrix.View) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+// loopMinPlusBlocked is the k-blocked, 4×-i-unrolled min-plus update for
+// x not aliased with u or v.
+func loopMinPlusBlocked(x, u, v matrix.View) {
+	n := x.N
+	for k0 := 0; k0 < n; k0 += kBlock {
+		kHi := k0 + kBlock
+		if kHi > n {
+			kHi = n
+		}
+		for j0 := 0; j0 < n; j0 += jBlock {
+			jHi := j0 + jBlock
+			if jHi > n {
+				jHi = n
+			}
+			i := 0
+			for ; i+4 <= n; i += 4 {
+				x0 := x.Data[i*x.Stride : i*x.Stride+n]
+				x1 := x.Data[(i+1)*x.Stride : (i+1)*x.Stride+n]
+				x2 := x.Data[(i+2)*x.Stride : (i+2)*x.Stride+n]
+				x3 := x.Data[(i+3)*x.Stride : (i+3)*x.Stride+n]
+				for k := k0; k < kHi; k++ {
+					u0 := u.At(i, k)
+					u1 := u.At(i+1, k)
+					u2 := u.At(i+2, k)
+					u3 := u.At(i+3, k)
+					vrow := v.Data[k*v.Stride : k*v.Stride+n]
+					for j := j0; j < jHi; j++ {
+						vj := vrow[j]
+						if t := u0 + vj; t < x0[j] {
+							x0[j] = t
+						}
+						if t := u1 + vj; t < x1[j] {
+							x1[j] = t
+						}
+						if t := u2 + vj; t < x2[j] {
+							x2[j] = t
+						}
+						if t := u3 + vj; t < x3[j] {
+							x3[j] = t
+						}
+					}
+				}
+			}
+			for ; i < n; i++ {
+				xrow := x.Data[i*x.Stride : i*x.Stride+n]
+				for k := k0; k < kHi; k++ {
+					uik := u.At(i, k)
+					vrow := v.Data[k*v.Stride : k*v.Stride+n]
+					for j := j0; j < jHi; j++ {
+						if t := uik + vrow[j]; t < xrow[j] {
+							xrow[j] = t
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// loopGaussianBlocked is the k-blocked, 4×-i-unrolled elimination update
+// for the unaliased full-range shape (kind D: ILow = JLow = 0). Each
+// element receives its updates in ascending k, exactly as loopGaussian
+// applies them, with the same per-update expression f·v[k,j] for
+// f = u[i,k]/w[k,k] — the results are bit-identical.
+func loopGaussianBlocked(x, u, v, w matrix.View) {
+	n := x.N
+	for k0 := 0; k0 < n; k0 += kBlock {
+		kHi := k0 + kBlock
+		if kHi > n {
+			kHi = n
+		}
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			x0 := x.Data[i*x.Stride : i*x.Stride+n]
+			x1 := x.Data[(i+1)*x.Stride : (i+1)*x.Stride+n]
+			x2 := x.Data[(i+2)*x.Stride : (i+2)*x.Stride+n]
+			x3 := x.Data[(i+3)*x.Stride : (i+3)*x.Stride+n]
+			for k := k0; k < kHi; k++ {
+				wkk := w.At(k, k)
+				f0 := u.At(i, k) / wkk
+				f1 := u.At(i+1, k) / wkk
+				f2 := u.At(i+2, k) / wkk
+				f3 := u.At(i+3, k) / wkk
+				vrow := v.Data[k*v.Stride : k*v.Stride+n]
+				for j := 0; j < n; j++ {
+					vj := vrow[j]
+					x0[j] -= f0 * vj
+					x1[j] -= f1 * vj
+					x2[j] -= f2 * vj
+					x3[j] -= f3 * vj
+				}
+			}
+		}
+		for ; i < n; i++ {
+			xrow := x.Data[i*x.Stride : i*x.Stride+n]
+			for k := k0; k < kHi; k++ {
+				f := u.At(i, k) / w.At(k, k)
+				vrow := v.Data[k*v.Stride : k*v.Stride+n]
+				for j := 0; j < n; j++ {
+					xrow[j] -= f * vrow[j]
+				}
+			}
+		}
+	}
+}

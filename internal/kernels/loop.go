@@ -53,8 +53,15 @@ func Loop(rule semiring.Rule, kind semiring.Kind, x, u, v, w matrix.View) {
 
 // loopMinPlus is the Floyd-Warshall inner loop: x[i,j] = min(x, u[i,k] +
 // v[k,j]) over the full cube (semiring rules have zero loop lower bounds
-// and ignore the pivot operand).
+// and ignore the pivot operand). When x aliases neither u nor v (kind D,
+// and the recursive kernels' interior sub-updates) the k loop is a pure
+// min-reduction over fixed operands and runs cache-blocked; min is exact,
+// so the result is bit-identical to the ordered loop.
 func loopMinPlus(x, u, v matrix.View) {
+	if !sameView(x, u) && !sameView(x, v) {
+		loopMinPlusBlocked(x, u, v)
+		return
+	}
 	n := x.N
 	for k := 0; k < n; k++ {
 		vrow := v.Data[k*v.Stride:]
@@ -74,6 +81,14 @@ func loopMinPlus(x, u, v matrix.View) {
 // u[i,k]/w[k,k] hoisted out of the j loop (one division per row instead
 // of per element — the classic GE formulation of Fig. 2).
 func loopGaussian(rule semiring.GaussianRule, kind semiring.Kind, x, u, v, w matrix.View) {
+	// Kind D has full-range loop bounds (i > k, j > k constrain only
+	// pivot-row/column kernels) and never aliases x with an operand, so
+	// it takes the k-blocked path; see blocked.go for the bit-identity
+	// argument.
+	if kind == semiring.KindD && !sameView(x, u) && !sameView(x, v) && !sameView(x, w) {
+		loopGaussianBlocked(x, u, v, w)
+		return
+	}
 	n := x.N
 	for k := 0; k < n; k++ {
 		wkk := w.At(k, k)

@@ -1,0 +1,83 @@
+package matrix
+
+import "sync"
+
+// TilePool recycles b×b tile slabs. The engine's hot path clones a tile
+// per kernel call and buffers shuffle copies per stage; without pooling
+// every one of those slabs is a fresh allocation the GC must trace and
+// sweep. The pool is size-classed (one sync.Pool per tile dimension) so a
+// run mixing block sizes never hands a kernel a short slab.
+//
+// All methods are safe for concurrent use: tasks allocate and release
+// tiles from parallel goroutines.
+type TilePool struct {
+	mu      sync.Mutex
+	classes map[int]*sync.Pool
+}
+
+// NewTilePool returns an empty pool.
+func NewTilePool() *TilePool {
+	return &TilePool{classes: make(map[int]*sync.Pool)}
+}
+
+// DefaultPool is the process-wide pool the drivers allocate from.
+var DefaultPool = NewTilePool()
+
+// class returns the sync.Pool for dimension b, creating it on first use.
+func (p *TilePool) class(b int) *sync.Pool {
+	p.mu.Lock()
+	sp := p.classes[b]
+	if sp == nil {
+		sp = &sync.Pool{New: func() any {
+			return &Tile{B: b, Data: make([]float64, b*b)}
+		}}
+		p.classes[b] = sp
+	}
+	p.mu.Unlock()
+	return sp
+}
+
+// Alloc returns a b×b tile with unspecified element contents and gen 0.
+// Callers must fully overwrite Data before reading it.
+func (p *TilePool) Alloc(b int) *Tile {
+	if b <= 0 {
+		panic("matrix: tile dimension must be positive")
+	}
+	t := p.class(b).Get().(*Tile)
+	t.gen = 0
+	return t
+}
+
+// Release returns a tile to the pool for reuse. The caller must hold the
+// only live reference: a released slab will be handed out again by Alloc
+// and overwritten. nil and symbolic tiles are ignored (symbolic tiles
+// carry no slab to recycle).
+func (p *TilePool) Release(t *Tile) {
+	if t == nil || t.Symbolic() {
+		return
+	}
+	t.gen = 0
+	p.class(t.B).Put(t)
+}
+
+// Clone returns a pooled deep copy of t with gen 0; a symbolic tile
+// clones to a fresh symbolic tile.
+func (p *TilePool) Clone(t *Tile) *Tile {
+	if t.Symbolic() {
+		return NewSymbolicTile(t.B)
+	}
+	out := p.Alloc(t.B)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Transpose returns a pooled transpose of t; a symbolic tile transposes
+// to a fresh symbolic tile.
+func (p *TilePool) Transpose(t *Tile) *Tile {
+	if t.Symbolic() {
+		return NewSymbolicTile(t.B)
+	}
+	out := p.Alloc(t.B)
+	t.TransposeInto(out)
+	return out
+}

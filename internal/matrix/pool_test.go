@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTilePoolAllocRelease(t *testing.T) {
+	p := NewTilePool()
+	a := p.Alloc(8)
+	if a.B != 8 || len(a.Data) != 64 {
+		t.Fatalf("Alloc(8) = B=%d len=%d", a.B, len(a.Data))
+	}
+	a.SetGen(7)
+	p.Release(a)
+	b := p.Alloc(8)
+	if b.Gen() != 0 {
+		t.Fatalf("pooled tile gen = %d, want 0", b.Gen())
+	}
+	// Different size classes never mix.
+	c := p.Alloc(4)
+	if c.B != 4 || len(c.Data) != 16 {
+		t.Fatalf("Alloc(4) = B=%d len=%d", c.B, len(c.Data))
+	}
+}
+
+func TestTilePoolReleaseIgnoresNilAndSymbolic(t *testing.T) {
+	p := NewTilePool()
+	p.Release(nil)
+	p.Release(NewSymbolicTile(8)) // must not land in the size class
+	got := p.Alloc(8)
+	if got.Symbolic() {
+		t.Fatal("Alloc returned a symbolic tile")
+	}
+}
+
+func TestTilePoolClone(t *testing.T) {
+	p := NewTilePool()
+	src := NewTile(4)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	src.SetGen(3)
+	cl := p.Clone(src)
+	if cl == src {
+		t.Fatal("Clone returned the source tile")
+	}
+	if cl.Gen() != 0 {
+		t.Fatalf("clone gen = %d, want 0", cl.Gen())
+	}
+	for i := range src.Data {
+		if cl.Data[i] != src.Data[i] {
+			t.Fatalf("clone differs at %d", i)
+		}
+	}
+	cl.Data[0] = -1
+	if src.Data[0] == -1 {
+		t.Fatal("clone shares storage with source")
+	}
+	if sym := p.Clone(NewSymbolicTile(4)); !sym.Symbolic() {
+		t.Fatal("symbolic clone is not symbolic")
+	}
+}
+
+func TestTilePoolTranspose(t *testing.T) {
+	p := NewTilePool()
+	src := NewTile(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			src.Set(i, j, float64(10*i+j))
+		}
+	}
+	tr := p.Transpose(src)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != src.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	want := src.Transpose()
+	for i := range want.Data {
+		if tr.Data[i] != want.Data[i] {
+			t.Fatalf("pooled transpose differs from Tile.Transpose at %d", i)
+		}
+	}
+	if sym := p.Transpose(NewSymbolicTile(3)); !sym.Symbolic() {
+		t.Fatal("symbolic transpose is not symbolic")
+	}
+}
+
+// TestTilePoolConcurrent hammers one pool from many goroutines (run under
+// -race): each worker repeatedly allocates, stamps, verifies and releases
+// slabs of two size classes.
+func TestTilePoolConcurrent(t *testing.T) {
+	p := NewTilePool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				b := 4 + 4*(iter%2)
+				tile := p.Alloc(b)
+				stamp := float64(w*1000 + iter)
+				for i := range tile.Data {
+					tile.Data[i] = stamp
+				}
+				for i := range tile.Data {
+					if tile.Data[i] != stamp {
+						t.Errorf("worker %d saw torn tile", w)
+						return
+					}
+				}
+				p.Release(tile)
+			}
+		}()
+	}
+	wg.Wait()
+}

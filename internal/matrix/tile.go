@@ -21,7 +21,21 @@ func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.I, c.J) }
 type Tile struct {
 	B    int
 	Data []float64
+
+	// gen is the engine-ownership tag used for copy-on-write clone
+	// elision: 0 means the tile is not owned by the executing driver
+	// (user input, pooled-fresh, or handed back to the user) and must be
+	// defensively cloned before mutation; a non-zero value names the
+	// driver iteration that produced the tile's current contents, letting
+	// lineage replays recognize an already-applied kernel.
+	gen uint32
 }
+
+// Gen returns the ownership generation tag.
+func (t *Tile) Gen() uint32 { return t.gen }
+
+// SetGen assigns the ownership generation tag (0 disowns the tile).
+func (t *Tile) SetGen(g uint32) { t.gen = g }
 
 // NewTile allocates a zeroed b×b tile.
 func NewTile(b int) *Tile {
@@ -71,12 +85,23 @@ func (t *Tile) Transpose() *Tile {
 		return NewSymbolicTile(t.B)
 	}
 	out := NewTile(t.B)
-	for i := 0; i < t.B; i++ {
-		for j := 0; j < t.B; j++ {
-			out.Data[j*t.B+i] = t.Data[i*t.B+j]
+	t.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes the transpose of t into dst, which must be a real
+// tile of equal dimension.
+func (t *Tile) TransposeInto(dst *Tile) {
+	if dst.B != t.B || dst.Symbolic() || t.Symbolic() {
+		panic("matrix: TransposeInto needs real tiles of equal dimension")
+	}
+	b := t.B
+	for i := 0; i < b; i++ {
+		row := t.Data[i*b : i*b+b]
+		for j, x := range row {
+			dst.Data[j*b+i] = x
 		}
 	}
-	return out
 }
 
 // Clone deep-copies the tile; a symbolic tile clones to a symbolic tile.

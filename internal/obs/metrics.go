@@ -23,18 +23,32 @@ func (l Labels) encode() string {
 	if len(l) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(l))
-	for k := range l {
+	// One allocation total: label sets here carry a handful of pairs, so
+	// the key scratch lives on the stack and the builder is grown to the
+	// exact output size. Values are documented quote- and newline-free,
+	// which makes verbatim quoting identical to %q.
+	var scratch [8]string
+	keys := scratch[:0]
+	if len(l) > len(scratch) {
+		keys = make([]string, 0, len(l))
+	}
+	size := 2
+	for k, v := range l {
 		keys = append(keys, k)
+		size += len(k) + len(v) + 4
 	}
 	sort.Strings(keys)
 	var b strings.Builder
+	b.Grow(size)
 	b.WriteByte('{')
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(l[k])
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -69,6 +69,27 @@ type Context struct {
 	events      []StageEvent
 	phase       string
 	bd          Breakdown
+
+	// stageMetrics caches resolved stage-metric handles per (stage kind,
+	// phase): the registry lookup encodes and hashes a label map per
+	// call, which is pure overhead for the handful of label combinations
+	// a run produces, looked up once per executed stage.
+	stageMetrics sync.Map // stageMetricsKey → *stageMetricHandles
+}
+
+// stageMetricsKey identifies one stage-metric label combination.
+type stageMetricsKey struct {
+	kind  StageKind
+	phase string
+}
+
+// stageMetricHandles holds the resolved metric family handles for one
+// (kind, phase) combination.
+type stageMetricHandles struct {
+	stages, tasks, write, fetch *obs.Counter
+	taskSeconds                 *obs.Histogram
+	skewHist                    *obs.Histogram
+	skewGauge                   *obs.Gauge
 }
 
 // Breakdown is the context's accumulated critical-path time decomposition
@@ -460,20 +481,40 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 // recordStageMetrics updates the always-on metric families for one
 // executed stage.
 func (c *Context) recordStageMetrics(kind StageKind, phase string, parts int, spill, fetch int64, skew float64, rep sim.StageReport) {
-	reg := c.obsv.Metrics()
-	kl := obs.Labels{"kind": kind.String(), "phase": phase}
-	reg.Counter("dpspark_stages_total", kl).Inc()
-	reg.Counter("dpspark_tasks_total", kl).Add(int64(parts))
-	reg.Counter("dpspark_shuffle_write_bytes_total", kl).Add(spill)
-	reg.Counter("dpspark_shuffle_fetch_bytes_total", kl).Add(fetch)
-	h := reg.Histogram("dpspark_task_seconds", obs.Labels{"kind": kind.String()}, taskSecondsBuckets)
+	m := c.stageMetricHandles(kind, phase)
+	m.stages.Inc()
+	m.tasks.Add(int64(parts))
+	m.write.Add(spill)
+	m.fetch.Add(fetch)
 	for _, ts := range rep.Tasks {
-		h.Observe(ts.Raw.Seconds())
+		m.taskSeconds.Observe(ts.Raw.Seconds())
 	}
 	if skew > 0 {
-		reg.Histogram("dpspark_stage_skew", nil, stageSkewBuckets).Observe(skew)
-		reg.Gauge("dpspark_max_task_skew", nil).SetMax(skew)
+		m.skewHist.Observe(skew)
+		m.skewGauge.SetMax(skew)
 	}
+}
+
+// stageMetricHandles resolves (and caches) the stage-metric handles for
+// one (kind, phase) combination.
+func (c *Context) stageMetricHandles(kind StageKind, phase string) *stageMetricHandles {
+	key := stageMetricsKey{kind: kind, phase: phase}
+	if m, ok := c.stageMetrics.Load(key); ok {
+		return m.(*stageMetricHandles)
+	}
+	reg := c.obsv.Metrics()
+	kl := obs.Labels{"kind": kind.String(), "phase": phase}
+	m := &stageMetricHandles{
+		stages:      reg.Counter("dpspark_stages_total", kl),
+		tasks:       reg.Counter("dpspark_tasks_total", kl),
+		write:       reg.Counter("dpspark_shuffle_write_bytes_total", kl),
+		fetch:       reg.Counter("dpspark_shuffle_fetch_bytes_total", kl),
+		taskSeconds: reg.Histogram("dpspark_task_seconds", obs.Labels{"kind": kind.String()}, taskSecondsBuckets),
+		skewHist:    reg.Histogram("dpspark_stage_skew", nil, stageSkewBuckets),
+		skewGauge:   reg.Gauge("dpspark_max_task_skew", nil),
+	}
+	actual, _ := c.stageMetrics.LoadOrStore(key, m)
+	return actual.(*stageMetricHandles)
 }
 
 // Bucket layouts for the stage metric histograms: task durations span

@@ -9,10 +9,14 @@ import (
 type Record = any
 
 // keyedRecord is a shuffled record: extracted key plus payload (the raw
-// value for PartitionBy, a combiner for CombineByKey).
+// value for PartitionBy, a combiner for CombineByKey). Non-combining
+// shuffles also set rec, the original typed record: the engine stages
+// pointers rather than serialized bytes, so the reduce side hands the
+// record straight through instead of re-boxing a rebuilt pair per record.
 type keyedRecord struct {
 	key any
 	val any
+	rec Record
 }
 
 // dataset is the untyped lineage node behind every RDD[T]. Exactly one of

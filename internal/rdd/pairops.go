@@ -57,7 +57,7 @@ func CombineByKey[K comparable, V, C any](r *RDD[Pair[K, V]],
 		ds.narrow = func(tc *TaskContext, split int) []Record {
 			in := ctx.iterate(parent, split, tc)
 			combiners := make(map[K]C, len(in))
-			var order []K
+			order := make([]K, 0, len(in))
 			for _, rec := range in {
 				p := rec.(Pair[K, V])
 				if comb, seen := combiners[p.Key]; seen {

@@ -109,7 +109,24 @@ func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	ds.deps = []*dataset{parent}
 	ds.narrow = func(tc *TaskContext, split int) []Record {
 		in := r.ds.ctx.iterate(parent, split, tc)
-		var out []Record
+		// Count first: a partition that passes entirely is handed through
+		// and one that matches nothing returns nil, so only partitions the
+		// predicate actually splits pay for a copy. The grid filters of the
+		// DP drivers (pivot row/column/interior selections) fall in the
+		// no-copy cases for almost every partition.
+		keep := 0
+		for _, rec := range in {
+			if pred(rec.(T)) {
+				keep++
+			}
+		}
+		switch keep {
+		case 0:
+			return nil
+		case len(in):
+			return in
+		}
+		out := make([]Record, 0, keep)
 		for _, rec := range in {
 			if pred(rec.(T)) {
 				out = append(out, rec)
@@ -209,9 +226,27 @@ func (r *RDD[T]) Union(others ...*RDD[T]) *RDD[T] {
 		ds := ctx.newDataset(fmt.Sprintf("paUnion[%d]", len(all)), r.ds.parts, r.ds.part)
 		ds.deps = deps
 		ds.narrow = func(tc *TaskContext, split int) []Record {
-			var out []Record
-			for _, p := range deps {
-				out = append(out, ctx.iterate(p, split, tc)...)
+			// Compute every input once (iterate charges compute, so no
+			// second pass), then merge into an exactly-sized slice; if a
+			// single input holds all the records, hand it through.
+			ins := make([][]Record, len(deps))
+			total, nonEmpty := 0, -1
+			for i, p := range deps {
+				ins[i] = ctx.iterate(p, split, tc)
+				if len(ins[i]) > 0 {
+					nonEmpty = i
+				}
+				total += len(ins[i])
+			}
+			if total == 0 {
+				return nil
+			}
+			if len(ins[nonEmpty]) == total {
+				return ins[nonEmpty]
+			}
+			out := make([]Record, 0, total)
+			for _, in := range ins {
+				out = append(out, in...)
 			}
 			return out
 		}

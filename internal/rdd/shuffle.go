@@ -1,6 +1,39 @@
 package rdd
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// Shuffle staging buffers churn fast: every map task builds a bucket map
+// and per-reduce record slices, and every retired shuffle generation
+// drops its slices for the GC to sweep. Both are recycled process-wide —
+// the maps as soon as their slices have been handed to the shuffle state,
+// the slices when their shuffle generation is retired.
+var (
+	bucketMapPool = sync.Pool{New: func() any {
+		return make(map[int][]keyedRecord)
+	}}
+	recSlicePool sync.Pool // stores *[]keyedRecord
+)
+
+// getRecSlice returns an empty pooled record slice, or one presized to
+// hint when the pool is empty.
+func getRecSlice(hint int) []keyedRecord {
+	if p, _ := recSlicePool.Get().(*[]keyedRecord); p != nil {
+		return (*p)[:0]
+	}
+	return make([]keyedRecord, 0, hint)
+}
+
+// putRecSlice recycles a record slice, zeroing the elements first so the
+// pool does not pin the shuffled keys and values (tiles!) against GC.
+func putRecSlice(recs []keyedRecord) {
+	for i := range recs {
+		recs[i] = keyedRecord{}
+	}
+	recSlicePool.Put(&recs)
+}
 
 // newShuffleDep registers a shuffle dependency.
 func (c *Context) newShuffleDep(parent *dataset, part Partitioner,
@@ -47,13 +80,21 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 		if len(recs) == 0 {
 			return
 		}
-		buckets := make(map[int][]keyedRecord)
+		buckets := bucketMapPool.Get().(map[int][]keyedRecord)
 		var spill int64
 
-		emit := func(k, v any) {
-			b := sd.part.Partition(k)
-			buckets[b] = append(buckets[b], keyedRecord{key: k, val: v})
-			spill += c.sizer(k) + c.sizer(v)
+		// Presize fresh bucket slices for this task's expected share: the
+		// map side emits at most len(recs) records spread over the target
+		// partitions.
+		hint := 1 + len(recs)/sd.part.NumPartitions()
+		emit := func(kr keyedRecord, bytes int64) {
+			b := sd.part.Partition(kr.key)
+			s, ok := buckets[b]
+			if !ok {
+				s = getRecSlice(hint)
+			}
+			buckets[b] = append(s, kr)
+			spill += bytes
 		}
 		if sd.combining() {
 			// Map-side combine: per-key combiners in input order.
@@ -73,7 +114,8 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 				}
 			}
 			for _, k := range order {
-				emit(k, combiners[k])
+				v := combiners[k]
+				emit(keyedRecord{key: k, val: v}, c.sizer(k)+c.sizer(v))
 			}
 		} else {
 			for _, r := range recs {
@@ -81,7 +123,12 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 				if !ok {
 					panic(fmt.Sprintf("rdd: shuffle over non-pair record %T", r))
 				}
-				emit(pr.pairKey(), pr.pairValue())
+				// Stage the original record alongside the boxed key and
+				// value: the key buckets and partitions, key+value price
+				// the traffic, and the reduce side hands rec through
+				// unchanged (see keyedRecord).
+				k, v := pr.pairKey(), pr.pairValue()
+				emit(keyedRecord{key: k, val: v, rec: r}, c.sizer(k)+c.sizer(v))
 			}
 		}
 
@@ -97,6 +144,9 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 	}
 	for split, buckets := range perSplit {
 		st.spillByNode[c.nodeOf(split)] += spillBySplit[split]
+		if buckets == nil {
+			continue
+		}
 		for b, recs := range buckets {
 			var bytes int64
 			for _, kr := range recs {
@@ -104,6 +154,11 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 			}
 			st.byReduce[b] = append(st.byReduce[b], bucketRef{mapPart: split, recs: recs, bytes: bytes})
 		}
+		// The slices now belong to the shuffle state (recycled when the
+		// generation retires); the map itself recycles immediately.
+		clear(buckets)
+		bucketMapPool.Put(buckets)
+		perSplit[split] = nil
 	}
 	// Deterministic reduce-side order: contributions sorted by map task.
 	for _, refs := range st.byReduce {
@@ -163,10 +218,19 @@ func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Reco
 			recs = append(recs, sd.rebuild(k, combiners[k]))
 		}
 	} else {
+		total := 0
+		for _, ref := range refs {
+			total += len(ref.recs)
+		}
+		recs = make([]Record, 0, total)
 		for _, ref := range refs {
 			c.chargeFetch(tc, ref.mapPart, ref.bytes)
 			for _, kr := range ref.recs {
-				recs = append(recs, sd.rebuild(kr.key, kr.val))
+				if kr.rec != nil {
+					recs = append(recs, kr.rec)
+				} else {
+					recs = append(recs, sd.rebuild(kr.key, kr.val))
+				}
 			}
 		}
 	}
@@ -190,10 +254,12 @@ func (c *Context) chargeFetch(tc *TaskContext, mapPart int, bytes int64) {
 func (c *Context) retireOldShuffles() {
 	c.mu.Lock()
 	var toRetire []*shuffleState
+	var retiredBuckets [][][]bucketRef
 	if n := len(c.shuffleLog) - c.conf.KeepShuffles; n > 0 {
 		for _, id := range c.shuffleLog[:n] {
 			if st := c.shuffles[id]; st != nil && !st.retired {
 				st.retired = true
+				retiredBuckets = append(retiredBuckets, st.byReduce)
 				st.byReduce = nil
 				toRetire = append(toRetire, st)
 			}
@@ -203,6 +269,16 @@ func (c *Context) retireOldShuffles() {
 	for _, st := range toRetire {
 		for node, bytes := range st.spillByNode {
 			c.simul.ReleaseShuffle(node, bytes)
+		}
+	}
+	// Recycle the retired staging slices (readShuffle panics on retired
+	// generations, so nothing can still be reading them).
+	for _, byReduce := range retiredBuckets {
+		for _, refs := range byReduce {
+			for i := range refs {
+				putRecSlice(refs[i].recs)
+				refs[i].recs = nil
+			}
 		}
 	}
 }

@@ -206,13 +206,30 @@ func (s *Sim) RunStageReport(tasks []Task) StageReport {
 
 	nodes := s.Model.C.Nodes
 	cores := s.Model.C.Node.Cores
-	perNode := make([][]Task, nodes)
-	perNodeIdx := make([][]int, nodes)
-	for i, t := range tasks {
+	// Two passes so every per-node queue is allocated exactly once (the
+	// scheduler runs per stage, and append-growth here shows up in engine
+	// allocation counts).
+	counts := make([]int, nodes)
+	nodeOf := func(t Task) int {
 		n := t.Node % nodes
 		if n < 0 {
 			n += nodes
 		}
+		return n
+	}
+	for _, t := range tasks {
+		counts[nodeOf(t)]++
+	}
+	perNode := make([][]Task, nodes)
+	perNodeIdx := make([][]int, nodes)
+	for n, c := range counts {
+		if c > 0 {
+			perNode[n] = make([]Task, 0, c)
+			perNodeIdx[n] = make([]int, 0, c)
+		}
+	}
+	for i, t := range tasks {
+		n := nodeOf(t)
 		perNode[n] = append(perNode[n], t)
 		perNodeIdx[n] = append(perNodeIdx[n], i)
 	}
@@ -220,6 +237,7 @@ func (s *Sim) RunStageReport(tasks []Task) StageReport {
 	rep := StageReport{
 		Start:  s.Clock,
 		NodeIO: make([]simtime.Duration, nodes),
+		Tasks:  make([]TaskSpan, 0, len(tasks)),
 	}
 	var rawSum simtime.Duration
 	var makespan simtime.Duration

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark trajectory files:
+#
+#   BENCH_kernels.json — real-mode kernel microbenchmarks
+#   BENCH_engine.json  — real-mode engine/baseline runs + model-mode
+#                        headline experiments (Table I/II, Fig. 6)
+#
+# Usage:
+#   scripts/bench.sh              # full run (go test default benchtime)
+#   BENCHTIME=1x scripts/bench.sh # CI smoke run: one iteration per bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+
+go build -o /tmp/benchjson ./cmd/benchjson
+
+go test -run '^$' -bench 'BenchmarkKernel' -benchtime "$BENCHTIME" -benchmem . \
+  | tee /dev/stderr | /tmp/benchjson -o BENCH_kernels.json
+
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkBaseline|BenchmarkTable|BenchmarkFig6' \
+  -benchtime "$BENCHTIME" -benchmem . \
+  | tee /dev/stderr | /tmp/benchjson -o BENCH_engine.json
+
+echo "wrote BENCH_kernels.json and BENCH_engine.json" >&2
