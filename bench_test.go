@@ -226,6 +226,83 @@ func BenchmarkAblationUndirected(b *testing.B) {
 	}
 }
 
+// --- Recovery benchmarks: modelled overhead under the standard fault
+// plan (BENCH_recovery.json — the robustness trajectory) ---
+
+// recoveryBenchSeed fixes the fault schedule so reruns are comparable.
+const recoveryBenchSeed = 20260805
+
+// BenchmarkRecoveryOverhead prices failure recovery per driver and crash
+// rate: a symbolic FW-APSP run (n=8192, b=1024, r=8 → 32 planned stages)
+// under a seeded plan of c executor crashes plus 2 stragglers and 1
+// staging-disk loss, with speculation on. Reported metrics: modelled
+// seconds, recovery seconds and overhead_pct vs the fault-free run.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	const stages, blk = 32, 1024
+	run := func(driver core.DriverKind, crashes int) *core.Stats {
+		conf := rdd.Conf{Cluster: cluster.Skylake16(), Speculation: true}
+		if crashes > 0 {
+			conf.FaultPlan = rdd.RandomFaultPlan(recoveryBenchSeed, stages, conf.Cluster.Nodes, crashes, 2, 1)
+		}
+		ctx := rdd.NewContext(conf)
+		bl := matrix.NewSymbolicBlocked(benchN, blk)
+		_, stats, err := core.Run(ctx, bl, core.Config{
+			Rule: semiring.NewFloydWarshall(), BlockSize: blk, Driver: driver,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats
+	}
+	for _, driver := range []core.DriverKind{core.IM, core.CB} {
+		clean := run(driver, 0)
+		for _, crashes := range []int{1, 2, 4} {
+			b.Run(driver.String()+"/crashes"+itoa(crashes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					stats := run(driver, crashes)
+					b.ReportMetric(stats.Time.Seconds(), "model_s")
+					b.ReportMetric(stats.RecoveryTime.Seconds(), "recovery_s")
+					b.ReportMetric((stats.Time.Seconds()/clean.Time.Seconds()-1)*100, "overhead_pct")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRecoverySpeculation isolates the speculation win: heavy
+// stragglers on update-stage tasks, speculation off vs on (the on case
+// reports its saving). 32 partitions over a 16×16 tile grid keep every
+// partition populated, so the stragglers dilate real work.
+func BenchmarkRecoverySpeculation(b *testing.B) {
+	run := func(speculate bool) *core.Stats {
+		ctx := rdd.NewContext(rdd.Conf{
+			Cluster:     cluster.Skylake16(),
+			Speculation: speculate,
+			FaultPlan: &rdd.FaultPlan{Stragglers: []rdd.Straggler{
+				{Stage: 2, Partition: 3, Factor: 6},
+				{Stage: 6, Partition: 9, Factor: 6},
+			}},
+		})
+		bl := matrix.NewSymbolicBlocked(benchN, 512)
+		_, stats, err := core.Run(ctx, bl, core.Config{
+			Rule: semiring.NewFloydWarshall(), BlockSize: 512, Driver: core.IM,
+			Partitions: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats
+	}
+	off := run(false)
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats := run(true)
+			b.ReportMetric(stats.Time.Seconds(), "model_s")
+			b.ReportMetric((1-stats.Time.Seconds()/off.Time.Seconds())*100, "saved_pct")
+		}
+	})
+}
+
 // --- Real-mode benchmarks: actual computation on this machine ---
 
 // BenchmarkKernelIterative measures the loop kernels per update. Sizes

@@ -26,7 +26,9 @@ import (
 	"dpspark/internal/cluster"
 	"dpspark/internal/core"
 	"dpspark/internal/experiments"
+	"dpspark/internal/matrix"
 	"dpspark/internal/obs"
+	"dpspark/internal/rdd"
 	"dpspark/internal/report"
 	"dpspark/internal/semiring"
 )
@@ -44,6 +46,8 @@ func main() {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of all runs to this file")
 	metricsOut := fs.String("metrics", "", "write a Prometheus-style metrics dump of all runs to this file")
 	verbose := fs.Bool("v", false, "print per-cell cost breakdowns")
+	seed := fs.Int64("seed", 20260805, "fault-plan seed (chaos command)")
+	crashes := fs.Int("crashes", 2, "executor crashes to schedule (chaos command)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -167,6 +171,7 @@ func main() {
 					Name:    c.name,
 					Compute: st.ComputeTime, Shuffle: st.ShuffleTime,
 					Broadcast: st.BroadcastTime, Overhead: st.OverheadTime,
+					Recovery:     st.RecoveryTime,
 					ShuffleBytes: st.ShuffleBytes, BroadcastBytes: st.BroadcastBytes,
 					Skew: st.MaxTaskSkew,
 				})
@@ -174,6 +179,63 @@ func main() {
 			t := report.NewBreakdownTable(
 				fmt.Sprintf("FW-APSP phase breakdown (n=%d, critical path)", *n), rows)
 			fmt.Println()
+			return t.Render(os.Stdout)
+		case "chaos":
+			// FW-APSP under a seeded fault plan, per driver: modelled
+			// recovery overhead vs the fault-free run, the fired fault /
+			// recovery counters, and the phase breakdown with its
+			// recovery column.
+			cl := cluster.Skylake16()
+			const blk = 1024
+			r := (*n + blk - 1) / blk
+			plan := rdd.RandomFaultPlan(*seed, 4*r, cl.Nodes, *crashes, 2, 1)
+			fmt.Printf("chaos plan (seed %d): %d executor crashes, %d stragglers, %d disk losses over %d planned stages\n\n",
+				*seed, len(plan.Crashes), len(plan.Stragglers), len(plan.DiskLosses), 4*r)
+			rows := make([]report.BreakdownRow, 0, 4)
+			for _, driver := range []core.DriverKind{core.IM, core.CB} {
+				var cleanS float64
+				for _, faulted := range []bool{false, true} {
+					conf := rdd.Conf{Cluster: cl, Speculation: true, Observer: observer}
+					name := fmt.Sprintf("%v clean", driver)
+					if faulted {
+						conf.FaultPlan = plan
+						name = fmt.Sprintf("%v chaos", driver)
+					}
+					ctx := rdd.NewContext(conf)
+					bl := matrix.NewSymbolicBlocked(*n, blk)
+					_, st, err := core.Run(ctx, bl, core.Config{
+						Rule: semiring.NewFloydWarshall(), BlockSize: blk, Driver: driver,
+					})
+					if err != nil {
+						return err
+					}
+					if faulted {
+						rs := ctx.RecoveryStats()
+						fmt.Printf("%s: %.0fs (clean %.0fs, overhead %.1f%%, recovery time %.0fs)\n",
+							name, st.Time.Seconds(), cleanS, (st.Time.Seconds()/cleanS-1)*100, st.RecoveryTime.Seconds())
+						fmt.Printf("  %d fetch failures → %d stage resubmits recomputing %d map partitions; "+
+							"%d task retries, %d blacklist placements, %d speculative copies (%d wins)\n",
+							rs.FetchFailures, rs.StageResubmits, rs.RecomputedMapPartitions,
+							rs.TaskRetries, rs.BlacklistPlacements, rs.SpeculativeTasks, rs.SpeculationWins)
+					} else {
+						cleanS = st.Time.Seconds()
+					}
+					rows = append(rows, report.BreakdownRow{
+						Name:    name,
+						Compute: st.ComputeTime, Shuffle: st.ShuffleTime,
+						Broadcast: st.BroadcastTime, Overhead: st.OverheadTime,
+						Recovery:     st.RecoveryTime,
+						ShuffleBytes: st.ShuffleBytes, BroadcastBytes: st.BroadcastBytes,
+						Skew: st.MaxTaskSkew,
+					})
+				}
+			}
+			fmt.Println()
+			t := report.NewBreakdownTable(
+				fmt.Sprintf("FW-APSP recovery overhead (n=%d, seed %d)", *n, *seed), rows)
+			if htmlReport != nil {
+				htmlReport.AddTable(t)
+			}
 			return t.Render(os.Stdout)
 		case "sweep":
 			cl := cluster.Skylake16()
@@ -321,10 +383,12 @@ commands:
   ablations   partitioner / partitions / r_shared / baseline comparisons
   explain     per-iteration plan: kernel counts, copies, moved bytes
   apsp        one observable FW-APSP run with its phase breakdown
+  chaos       FW-APSP under a seeded fault plan: recovery overhead per driver
   sweep       autotune search over the full tuning space
   all         tables, figures and ablations
 
 flags: -n <size> (default 32768), -csv <dir>, -v,
+       -seed <n> / -crashes <n> (chaos fault plan),
        -trace <file> (Chrome trace-event JSON, load in Perfetto),
        -metrics <file> (Prometheus text dump)`))
 }

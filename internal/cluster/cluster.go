@@ -166,6 +166,20 @@ func Haswell16() *Cluster {
 	}
 }
 
+// LocalN returns a small multi-node development "cluster": Local's
+// per-node hardware replicated across nodes. Fault-injection tests use
+// it — executor loss, blacklisting and shuffle re-fetch need more than
+// one executor to be observable.
+func LocalN(nodes, cores int) *Cluster {
+	if nodes < 1 {
+		nodes = 1
+	}
+	c := Local(cores)
+	c.Nodes = nodes
+	c.Name = fmt.Sprintf("local-%d", nodes)
+	return c
+}
+
 // Local returns a tiny single-node "cluster" used by tests and real-mode
 // runs on a development machine.
 func Local(cores int) *Cluster {

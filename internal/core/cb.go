@@ -27,13 +27,14 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		f := newFilters(rule, k, run.r)
 		pivotKey := matrix.Coord{I: k, J: k}
 		iterStart := ctx.Clock()
-		kr.gen = uint32(k) + 1
+		// Captured ownership tag; see the IM driver.
+		gen := uint32(k) + 1
 
 		// Stage 1: A, collected and staged on shared storage.
 		ctx.SetPhase("pivot")
 		aBlock := rdd.Map(dp.Filter(func(b Block) bool { return f.A(b.Key) }),
 			func(tc *rdd.TaskContext, b Block) Block {
-				return rdd.KV(b.Key, kr.apply(tc, semiring.KindA, b.Value, nil, nil, nil))
+				return rdd.KV(b.Key, kr.apply(tc, gen, semiring.KindA, b.Value, nil, nil, nil))
 			})
 		aCollected, err := aBlock.Collect()
 		if err != nil {
@@ -49,9 +50,9 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 				bcA.Get(tc)
 				pivot := mustTile(aIdx, pivotKey)
 				if b.Key.I == k {
-					return rdd.KV(b.Key, kr.apply(tc, semiring.KindB, b.Value, pivot, nil, pivot))
+					return rdd.KV(b.Key, kr.apply(tc, gen, semiring.KindB, b.Value, pivot, nil, pivot))
 				}
-				return rdd.KV(b.Key, kr.apply(tc, semiring.KindC, b.Value, nil, pivot, pivot))
+				return rdd.KV(b.Key, kr.apply(tc, gen, semiring.KindC, b.Value, nil, pivot, pivot))
 			})
 		bcCollected, err := bcBlocks.Collect()
 		if err != nil {
@@ -75,7 +76,7 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 				bcPanels.Get(tc)
 				row := mustTile(panelIdx, matrix.Coord{I: k, J: b.Key.J})
 				col := mustTile(panelIdx, matrix.Coord{I: b.Key.I, J: k})
-				return rdd.KV(b.Key, kr.apply(tc, semiring.KindD, b.Value, col, row, pivot))
+				return rdd.KV(b.Key, kr.apply(tc, gen, semiring.KindD, b.Value, col, row, pivot))
 			})
 
 		prev := dp.Filter(func(b Block) bool { return !f.Touched(b.Key) })

@@ -88,6 +88,13 @@ type Config struct {
 	// Partitioner overrides the default hash partitioner (the paper's
 	// future-work grid partitioner lives in internal/rdd).
 	Partitioner rdd.Partitioner
+	// CheckpointEvery is the IM driver's lineage-truncation cadence: the
+	// DP table is checkpointed every K iterations (and always after the
+	// last), bounding recompute depth under failure to K iterations'
+	// shuffles. Default 1 — per-iteration, the Spark FW implementations'
+	// behaviour. The CB driver ignores it: its collect/broadcast staging
+	// already persists each iteration's panels outside the lineage.
+	CheckpointEvery int
 }
 
 // normalize fills Config defaults and validates.
@@ -114,6 +121,20 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 	}
 	if cfg.Partitioner == nil {
 		cfg.Partitioner = rdd.NewHashPartitioner(cfg.Partitions)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery must be ≥ 0 (0 means every iteration), got %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1
+	}
+	// A K-iteration lineage window keeps 3K shuffles alive (pivot,
+	// row-col, update per iteration); the engine's shuffle cleanup must
+	// not retire them while a later action (or failure recovery) can
+	// still replay them.
+	if cfg.Driver == IM && 3*cfg.CheckpointEvery > ctx.KeepShuffles() {
+		return fmt.Errorf("core: CheckpointEvery %d needs %d live shuffles but Conf.KeepShuffles is %d; raise KeepShuffles to ≥ %d",
+			cfg.CheckpointEvery, 3*cfg.CheckpointEvery, ctx.KeepShuffles(), 3*cfg.CheckpointEvery)
 	}
 	return nil
 }
@@ -279,34 +300,37 @@ type kindMetrics struct {
 	occ   *obs.Gauge
 }
 
-// kernelRunner applies kernels for one driver run. gen is the current
-// driver iteration's ownership tag (uint32(k)+1); the drivers advance it
-// at the top of each iteration.
+// kernelRunner applies kernels for one driver run.
 type kernelRunner struct {
 	exec kernels.Exec
 	kc   costmodel.KernelConfig
 	pool *matrix.TilePool
-	gen  uint32
 	m    [4]kindMetrics
 }
 
 // apply prices and (for real tiles) executes one kernel call, returning
-// the updated tile. RDD records must behave as immutable values under
-// lineage recomputation (which the CB driver performs every iteration,
-// exactly like Spark without .cache()), but a deep copy per call is only
-// needed when a replay could still observe the input. The gen tag tracks
-// that: gen 0 marks a tile the engine does not own (user input — clone it
-// into a pooled slab before mutating); a tile owned by an earlier
-// iteration is mutated in place, because its pre-kernel value is
-// recoverable from the checkpointed source records and nothing replays
-// across a checkpoint; and a tile already tagged with the current
-// iteration has this kernel's result — the call is a lineage replay (CB's
-// deliberate recompute, or a task retry) and returns it unchanged. Either
-// way the modelled cost is charged in full: Spark really does recompute.
-// The charged thread width is the kernel's occupancy — OMP threads beyond
-// its exploitable parallelism sleep and do not contend for the node's
-// cores.
-func (kr *kernelRunner) apply(tc *rdd.TaskContext, kind semiring.Kind,
+// the updated tile. gen is the calling iteration's ownership tag
+// (uint32(k)+1), captured by the driver's closures — not read from
+// mutable runner state, because stage resubmission can replay an older
+// iteration's kernels while the driver has already advanced. RDD records
+// must behave as immutable values under lineage recomputation (which the
+// CB driver performs every iteration, exactly like Spark without
+// .cache(), and which failure recovery performs for lost map outputs),
+// but a deep copy per call is only needed when a replay could still
+// observe the input. The gen tag tracks that: gen 0 marks a tile the
+// engine does not own (user input — clone it into a pooled slab before
+// mutating; a replay clones again and reproduces the identical result
+// from the untouched input); a tile owned by a strictly earlier iteration
+// is mutated in place, because first executions always advance the tag to
+// at least this generation — 0 < tag < gen can only be a first execution;
+// and a tile tagged with this generation or later already contains this
+// kernel's effect — the call is a lineage replay (CB's deliberate
+// recompute, a task retry, or a recovery recompute of an older stage) and
+// returns it unchanged. Either way the modelled cost is charged in full:
+// Spark really does recompute. The charged thread width is the kernel's
+// occupancy — OMP threads beyond its exploitable parallelism sleep and do
+// not contend for the node's cores.
+func (kr *kernelRunner) apply(tc *rdd.TaskContext, gen uint32, kind semiring.Kind,
 	x, u, v, w *matrix.Tile) *matrix.Tile {
 	model := tc.Ctx().Model()
 	cost := model.KernelTime(kr.exec.Rule(), kind, x.B, kr.kc)
@@ -318,18 +342,18 @@ func (kr *kernelRunner) apply(tc *rdd.TaskContext, kind semiring.Kind,
 	km.cost.Observe(cost.Seconds())
 	km.occ.SetMax(float64(occ))
 
-	gen := x.Gen()
-	if gen == kr.gen && gen != 0 {
+	tag := x.Gen()
+	if tag != 0 && tag >= gen {
 		return x // replay of an already-applied kernel
 	}
 	out := x
-	if gen == 0 {
+	if tag == 0 {
 		out = kr.pool.Clone(x)
 	}
 	if !out.Symbolic() {
 		kr.exec.Apply(kind, out, u, v, w)
 	}
-	out.SetGen(kr.gen)
+	out.SetGen(gen)
 	return out
 }
 

@@ -26,7 +26,11 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		f := newFilters(rule, k, run.r)
 		rest := rule.Restricted(k, run.r)
 		iterStart := ctx.Clock()
-		kr.gen = uint32(k) + 1
+		// The iteration's ownership tag, captured by the kernel closures:
+		// replays (retries, CB recompute, recovery resubmission) must see
+		// the generation the kernel belongs to, not the driver's current
+		// one.
+		gen := uint32(k) + 1
 
 		// Stage 1: A updates the pivot tile and replicates it to its
 		// consumers: the B and C panels always, and the D blocks only
@@ -38,7 +42,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		pivotToD := rule.UsesPivot()
 		aBlocks := rdd.PartitionBy(
 			rdd.FlatMap(aIn, func(tc *rdd.TaskContext, b Block) []rdd.Pair[matrix.Coord, Msg] {
-				updated := kr.apply(tc, semiring.KindA, b.Value, nil, nil, nil)
+				updated := kr.apply(tc, gen, semiring.KindA, b.Value, nil, nil, nil)
 				// One Done record, a pivot copy per B and per C panel, and
 				// the (r−k−1)² D-addressed copies only when the rule reads
 				// the pivot (FW's min-plus never does — reserving for them
@@ -81,7 +85,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 					case key.I == k && key.J == k:
 						return []rdd.Pair[matrix.Coord, Msg]{rdd.KV(key, Msg{RoleDone, ops.Done})}
 					case key.I == k:
-						updated := kr.apply(tc, semiring.KindB, ops.Self, ops.Pivot, nil, ops.Pivot)
+						updated := kr.apply(tc, gen, semiring.KindB, ops.Self, ops.Pivot, nil, ops.Pivot)
 						out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+len(rest))
 						out = append(out, rdd.KV(key, Msg{RoleDone, updated}))
 						for _, i := range rest {
@@ -89,7 +93,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 						}
 						return out
 					case key.J == k:
-						updated := kr.apply(tc, semiring.KindC, ops.Self, nil, ops.Pivot, ops.Pivot)
+						updated := kr.apply(tc, gen, semiring.KindC, ops.Self, nil, ops.Pivot, ops.Pivot)
 						out := make([]rdd.Pair[matrix.Coord, Msg], 0, 1+len(rest))
 						out = append(out, rdd.KV(key, Msg{RoleDone, updated}))
 						for _, j := range rest {
@@ -117,7 +121,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 					for _, p := range recs {
 						ops := p.Value
 						if ops.Self != nil {
-							updated := kr.apply(tc, semiring.KindD, ops.Self, ops.Col, ops.Row, ops.Pivot)
+							updated := kr.apply(tc, gen, semiring.KindD, ops.Self, ops.Col, ops.Row, ops.Pivot)
 							out = append(out, rdd.KV(p.Key, updated))
 						} else {
 							out = append(out, rdd.KV(p.Key, ops.Done))
@@ -133,12 +137,16 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		prev := dp.Filter(func(b Block) bool { return !f.Touched(b.Key) })
 		dp = rdd.PartitionBy(prev.Union(abcdBlocks), part)
 
-		// Truncate lineage: without this every later action would replay
-		// all earlier generations' shuffle files (the Spark FW-APSP
-		// implementations checkpoint per generation for the same reason).
-		ctx.SetPhase("checkpoint")
-		if err := dp.Checkpoint(); err != nil {
-			return dp, err
+		// Truncate lineage every CheckpointEvery iterations (and after the
+		// last): without this every later action would replay all earlier
+		// generations' shuffle files (the Spark FW-APSP implementations
+		// checkpoint per generation for the same reason). A longer cadence
+		// trades checkpoint stages against deeper recompute under failure.
+		if (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1 {
+			ctx.SetPhase("checkpoint")
+			if err := dp.Checkpoint(); err != nil {
+				return dp, err
+			}
 		}
 		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
 		ctx.EmitDriverSpan(fmt.Sprintf("IM iter %d", k), "iteration", iterStart, nil)

@@ -25,6 +25,11 @@ type Stats struct {
 	// (shared-fs + driver network) and scheduling overhead. They sum to
 	// Time (see rdd.Breakdown).
 	ComputeTime, ShuffleTime, BroadcastTime, OverheadTime simtime.Duration
+	// RecoveryTime is the clock time spent in resubmitted stages
+	// recomputing lost shuffle map outputs. It overlaps the four
+	// components above (recovery stages attribute their time there too)
+	// and is excluded from their sum; 0 on fault-free runs.
+	RecoveryTime simtime.Duration
 	// ShuffleBytes is the shuffle data the run staged (write side: equal
 	// to the sum of SpillBytes over the run's stage events).
 	ShuffleBytes int64
@@ -80,6 +85,7 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		ShuffleTime:    bd.Shuffle,
 		BroadcastTime:  bd.Broadcast,
 		OverheadTime:   bd.Overhead,
+		RecoveryTime:   bd.Recovery,
 		ShuffleBytes:   bd.ShuffleWriteBytes,
 		BroadcastBytes: bd.BroadcastBytes,
 		MaxTaskSkew:    skew,

@@ -35,13 +35,89 @@ type Conf struct {
 	// returning true makes that attempt fail (for resilience testing).
 	// Failed tasks are retried like Spark's, up to MaxTaskAttempts.
 	FaultInjector func(stageID, partition, attempt int) bool
+	// FaultPlan, when set, schedules deterministic whole-executor
+	// failures: crashes (map outputs lost + blacklist), staging-disk
+	// losses and slow-task stragglers. See RandomFaultPlan. The plan is
+	// never mutated, so one plan can drive several contexts.
+	FaultPlan *FaultPlan
 	// MaxTaskAttempts bounds task retries (default 4, Spark's
-	// spark.task.maxFailures).
+	// spark.task.maxFailures). Negative values are rejected.
 	MaxTaskAttempts int
+	// BlacklistBackoff is the base executor blacklist duration after a
+	// crash, doubling per repeated crash of the same node (default 30
+	// virtual seconds).
+	BlacklistBackoff simtime.Duration
+	// Speculation enables speculative execution: after a stage's tasks
+	// finish computing, tasks slower than SpeculationMultiplier × the
+	// SpeculationQuantile task duration get a copy launched on another
+	// executor; the first result wins and the loser is killed at the
+	// winner's finish time — its work is still charged to the cost model
+	// (spark.speculation).
+	Speculation bool
+	// SpeculationMultiplier is the straggler threshold factor (default
+	// 1.5, spark.speculation.multiplier). Values in (0, 1] are rejected.
+	SpeculationMultiplier float64
+	// SpeculationQuantile is the task-duration quantile the threshold is
+	// relative to (default 0.75, spark.speculation.quantile).
+	SpeculationQuantile float64
 	// Observer receives the context's spans and metrics. Nil creates a
 	// private observer; pass a shared one to aggregate several contexts
 	// (e.g. a sweep) into one trace/metrics export.
 	Observer *obs.Observer
+}
+
+// normalize is the single place Conf is validated and defaulted — every
+// context construction path goes through it, so a hand-built Conf can
+// never smuggle an unnormalized value past NewContext.
+func (conf *Conf) normalize() error {
+	if conf.Cluster == nil {
+		return fmt.Errorf("rdd: Conf.Cluster is required")
+	}
+	if conf.MaxTaskAttempts < 0 {
+		return fmt.Errorf("rdd: Conf.MaxTaskAttempts must be ≥ 0 (0 means the default 4, Spark's spark.task.maxFailures), got %d", conf.MaxTaskAttempts)
+	}
+	if conf.KeepShuffles < 0 {
+		return fmt.Errorf("rdd: Conf.KeepShuffles must be ≥ 0 (0 means the default 8), got %d", conf.KeepShuffles)
+	}
+	if conf.BlacklistBackoff < 0 {
+		return fmt.Errorf("rdd: Conf.BlacklistBackoff must be ≥ 0, got %v", conf.BlacklistBackoff)
+	}
+	if conf.SpeculationMultiplier < 0 || (conf.SpeculationMultiplier > 0 && conf.SpeculationMultiplier <= 1) {
+		return fmt.Errorf("rdd: Conf.SpeculationMultiplier must be > 1 (0 means the default 1.5), got %g", conf.SpeculationMultiplier)
+	}
+	if conf.SpeculationQuantile < 0 || conf.SpeculationQuantile >= 1 {
+		return fmt.Errorf("rdd: Conf.SpeculationQuantile must be in [0, 1) (0 means the default 0.75), got %g", conf.SpeculationQuantile)
+	}
+	if conf.FaultPlan != nil {
+		if err := conf.FaultPlan.validate(conf.Cluster.Nodes); err != nil {
+			return err
+		}
+	}
+	if conf.ExecutorCores <= 0 {
+		conf.ExecutorCores = conf.Cluster.Node.Cores
+	}
+	if conf.RealParallelism <= 0 {
+		conf.RealParallelism = runtime.NumCPU()
+	}
+	if conf.Sizer == nil {
+		conf.Sizer = DefaultSizer
+	}
+	if conf.KeepShuffles == 0 {
+		conf.KeepShuffles = 8
+	}
+	if conf.MaxTaskAttempts == 0 {
+		conf.MaxTaskAttempts = 4
+	}
+	if conf.BlacklistBackoff == 0 {
+		conf.BlacklistBackoff = defaultBlacklistBackoff
+	}
+	if conf.SpeculationMultiplier == 0 {
+		conf.SpeculationMultiplier = 1.5
+	}
+	if conf.SpeculationQuantile == 0 {
+		conf.SpeculationQuantile = 0.75
+	}
+	return nil
 }
 
 // Context is the engine's driver: it owns the lineage graph, the shuffle
@@ -54,6 +130,13 @@ type Context struct {
 	sizer Sizer
 	obsv  *obs.Observer
 	pid   int
+
+	// faults is the fired-event/blacklist state for Conf.FaultPlan (nil
+	// without a plan); rec are the recovery counters, recm their
+	// pre-resolved registry mirrors.
+	faults *faultState
+	rec    recovery
+	recm   recoveryMetrics
 
 	laneNames sync.Once
 
@@ -108,6 +191,12 @@ type Breakdown struct {
 	// Overhead is scheduling overhead (job, stage, task launch is inside
 	// Compute; driver bookkeeping lands here).
 	Overhead simtime.Duration
+	// Recovery is the clock time spent in resubmitted (recovery) stages —
+	// recomputing map outputs lost to executor crashes or disk losses. It
+	// overlaps the four components above (recovery stages attribute their
+	// time there too) and is therefore NOT part of Total(); it answers
+	// "how much of the run was failure recovery".
+	Recovery simtime.Duration
 	// ShuffleWriteBytes and ShuffleFetchBytes count shuffle traffic.
 	ShuffleWriteBytes, ShuffleFetchBytes int64
 	// BroadcastBytes counts shared-filesystem traffic (staged + fetched).
@@ -128,6 +217,7 @@ func (b Breakdown) Sub(other Breakdown) Breakdown {
 		Shuffle:           b.Shuffle - other.Shuffle,
 		Broadcast:         b.Broadcast - other.Broadcast,
 		Overhead:          b.Overhead - other.Overhead,
+		Recovery:          b.Recovery - other.Recovery,
 		ShuffleWriteBytes: b.ShuffleWriteBytes - other.ShuffleWriteBytes,
 		ShuffleFetchBytes: b.ShuffleFetchBytes - other.ShuffleFetchBytes,
 		BroadcastBytes:    b.BroadcastBytes - other.BroadcastBytes,
@@ -135,33 +225,54 @@ func (b Breakdown) Sub(other Breakdown) Breakdown {
 }
 
 // shuffleState is a materialized shuffle, indexed by reduce partition.
+// The mutable fields are guarded by mu (an RWMutex: reduce-side reads
+// take the read lock so a concurrent recovery can rewrite the lost
+// buckets under the write lock); recMu serializes recoveries of this
+// shuffle so concurrent fetch failures trigger one resubmission.
 type shuffleState struct {
-	dep         *shuffleDep
+	dep *shuffleDep
+	// mapStage is the global stage ID of the shuffle's map stage;
+	// resubmissions reuse it (with a bumped attempt), like Spark, so
+	// planned stage numbering is identical with and without faults.
+	mapStage int
+
+	mu          sync.RWMutex
 	byReduce    [][]bucketRef
 	spillByNode []int64
-	done        bool
-	retired     bool
+	// mapNode, spillByMap and refsByMap record where each map partition's
+	// output lives, its staged bytes and whether it produced any buckets —
+	// what executor-loss invalidation and fetch attribution key on.
+	mapNode    []int
+	spillByMap []int64
+	refsByMap  []int
+	// lost flags map partitions whose staged output is gone (executor
+	// crash / disk loss); fetches touching them raise FetchFailedError.
+	lost map[int]bool
+	// epoch increments on every completed recovery; a FetchFailedError
+	// carrying an older epoch means someone else already recovered.
+	epoch int
+	// attempts counts map-stage executions (1 = initial run).
+	attempts int
+	done     bool
+	retired  bool
+
+	recMu sync.Mutex
 }
 
-// NewContext creates an engine context.
+// isDone reports whether the shuffle's map side has materialized.
+func (st *shuffleState) isDone() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.done
+}
+
+// NewContext creates an engine context. The Conf is validated and
+// defaulted by Conf.normalize; invalid settings (negative
+// MaxTaskAttempts, out-of-range speculation parameters, a fault plan
+// naming nodes outside the cluster) panic with a clear error.
 func NewContext(conf Conf) *Context {
-	if conf.Cluster == nil {
-		panic("rdd: Conf.Cluster is required")
-	}
-	if conf.ExecutorCores <= 0 {
-		conf.ExecutorCores = conf.Cluster.Node.Cores
-	}
-	if conf.RealParallelism <= 0 {
-		conf.RealParallelism = runtime.NumCPU()
-	}
-	if conf.Sizer == nil {
-		conf.Sizer = DefaultSizer
-	}
-	if conf.KeepShuffles <= 0 {
-		conf.KeepShuffles = 8
-	}
-	if conf.MaxTaskAttempts <= 0 {
-		conf.MaxTaskAttempts = 4
+	if err := conf.normalize(); err != nil {
+		panic(err)
 	}
 	m := costmodel.New(conf.Cluster)
 	if conf.Params != nil {
@@ -179,6 +290,10 @@ func NewContext(conf Conf) *Context {
 		shuffles: make(map[int]*shuffleState),
 		memUsed:  make([]int64, conf.Cluster.Nodes),
 	}
+	if conf.FaultPlan != nil {
+		c.faults = newFaultState(conf.FaultPlan, conf.Cluster.Nodes)
+	}
+	c.recm = newRecoveryMetrics(conf.Observer.Metrics())
 	c.pid = c.obsv.RegisterProcess(fmt.Sprintf("dpspark %s×%d", conf.Cluster, conf.ExecutorCores))
 	c.obsv.NameThread(c.pid, 0, "driver")
 	return c
@@ -236,6 +351,10 @@ func (c *Context) Cluster() *cluster.Cluster { return c.conf.Cluster }
 
 // ExecutorCores returns the per-executor task-slot setting.
 func (c *Context) ExecutorCores() int { return c.conf.ExecutorCores }
+
+// KeepShuffles returns how many recent shuffle generations stay staged
+// (drivers with multi-iteration lineage windows must fit inside it).
+func (c *Context) KeepShuffles() int { return c.conf.KeepShuffles }
 
 // Clock returns the job's virtual time so far.
 func (c *Context) Clock() simtime.Duration { return c.simul.Now() }
@@ -347,53 +466,140 @@ func (c *Context) nameTraceLanes() {
 	}
 }
 
-// runStage executes one stage: `parts` tasks running `work`, really (in
-// parallel goroutines) and virtually (through the cluster simulator).
+// stageSpec describes one stage execution for execStage.
+type stageSpec struct {
+	kind      StageKind
+	shuffleID int
+	parts     int
+	phase     string
+	// stageID < 0 allocates a fresh global stage ID; resubmitted recovery
+	// stages pass their original map stage's ID instead (attempt > 0), so
+	// planned stage numbering never shifts under faults.
+	stageID int
+	attempt int
+	// splits maps task index → partition; nil means the identity (task i
+	// computes partition i). Recovery stages pass only the lost
+	// partitions.
+	splits []int
+}
+
+// split returns the partition task index idx computes.
+func (sp *stageSpec) split(idx int) int {
+	if sp.splits != nil {
+		return sp.splits[idx]
+	}
+	return idx
+}
+
+// runStage executes one full stage: `parts` tasks running `work`, really
+// (in parallel goroutines) and virtually (through the cluster simulator).
 // phase labels the stage for observability (the driver phase that built
 // the stage's lineage).
 func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, work func(tc *TaskContext, split int)) {
-	c.mu.Lock()
-	stageID := c.nextStage
-	c.nextStage++
-	c.mu.Unlock()
+	c.execStage(stageSpec{kind: kind, shuffleID: shuffleID, parts: parts, phase: phase, stageID: -1},
+		func(tc *TaskContext, _, split int) { work(tc, split) })
+}
+
+// execStage is the stage driver behind runStage and the shuffle map /
+// recovery paths. Before tasks launch it fires the fault plan's events
+// scheduled for this stage; each task then runs with Spark-style retry
+// semantics (placement off blacklisted executors, FetchFailed triggering
+// parent-stage resubmission without consuming a task attempt); and after
+// the real execution, straggler dilation and speculative execution shape
+// the virtual tasks handed to the cluster simulator.
+func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, split int)) {
+	stageID := spec.stageID
+	if stageID < 0 {
+		c.mu.Lock()
+		stageID = c.nextStage
+		c.nextStage++
+		c.mu.Unlock()
+	}
+	crashed := c.fireStageFaults(stageID)
+	asOf := c.Clock()
+	parts := spec.parts
 
 	tcs := make([]*TaskContext, parts)
 	// runOne executes one task with Spark-style retries: an injected
-	// fault or a panic fails the attempt; the task restarts from its
-	// lineage (a fresh TaskContext — charges of failed attempts still
-	// cost virtual time, accumulated via lostCompute).
-	runOne := func(split int) {
+	// fault or a panic fails the attempt and the task restarts from its
+	// lineage on a freshly placed executor (charges of failed attempts
+	// still cost virtual time, accumulated via lost). A FetchFailedError
+	// indicts the parent map stage instead: the shuffle is recovered and
+	// the fetch retried without consuming one of this task's attempts.
+	runOne := func(idx int) {
+		split := spec.split(idx)
 		var lost simtime.Duration
-		for attempt := 0; attempt < c.conf.MaxTaskAttempts; attempt++ {
+		failures := 0
+		for {
+			node := c.placeNode(split, asOf)
+			if failures == 0 && crashed[c.nodeOf(split)] {
+				// The executor dies under its running first attempts; the
+				// retry re-places them (the node is now blacklisted).
+				node = c.nodeOf(split)
+			}
 			tc := &TaskContext{
 				StageID:   stageID,
 				Partition: split,
-				Node:      c.nodeOf(split),
+				Node:      node,
 				ctx:       c,
 			}
-			tcs[split] = tc
+			tcs[idx] = tc
 			err := func() (err error) {
 				defer func() {
 					if p := recover(); p != nil {
+						if ff, ok := p.(*FetchFailedError); ok {
+							err = ff
+							return
+						}
 						err = fmt.Errorf("rdd: task %d of stage %d failed (attempt %d): %v",
-							split, stageID, attempt+1, p)
+							split, stageID, failures+1, p)
 					}
 				}()
-				if c.conf.FaultInjector != nil && c.conf.FaultInjector(stageID, split, attempt) {
-					return fmt.Errorf("rdd: task %d of stage %d killed by fault injector (attempt %d)",
-						split, stageID, attempt+1)
+				if failures == 0 && crashed[node] {
+					return fmt.Errorf("rdd: task %d of stage %d lost with executor %d",
+						split, stageID, node)
 				}
-				work(tc, split)
+				if c.conf.FaultInjector != nil && c.conf.FaultInjector(stageID, split, failures) {
+					c.rec.faultKills.Add(1)
+					c.recm.injectTask.Inc()
+					return fmt.Errorf("rdd: task %d of stage %d killed by fault injector (attempt %d)",
+						split, stageID, failures+1)
+				}
+				work(tc, idx, split)
 				return nil
 			}()
 			if err == nil {
+				if factor := c.stragglerFactor(stageID, split); factor > 1 {
+					extra := simtime.Duration(tc.compute.Seconds() * (factor - 1))
+					tc.slowed = extra
+					tc.compute += extra
+					c.rec.stragglers.Add(1)
+					c.recm.injectStraggler.Inc()
+				}
 				tc.compute += lost // failed attempts' work is not free
 				return
 			}
 			lost += tc.compute
-			if attempt == c.conf.MaxTaskAttempts-1 {
-				c.recordTaskErr(err)
+			var ff *FetchFailedError
+			if ffe, ok := err.(*FetchFailedError); ok {
+				ff = ffe
 			}
+			if ff != nil {
+				c.rec.fetchFailures.Add(1)
+				c.recm.fetchFailures.Inc()
+				if rerr := c.recoverShuffle(ff); rerr != nil {
+					c.recordTaskErr(rerr)
+					return
+				}
+				continue
+			}
+			failures++
+			if failures >= c.conf.MaxTaskAttempts {
+				c.recordTaskErr(err)
+				return
+			}
+			c.rec.taskRetries.Add(1)
+			c.recm.taskRetries.Inc()
 		}
 	}
 
@@ -402,30 +608,30 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 		workers = parts
 	}
 	if workers <= 1 {
-		for split := 0; split < parts; split++ {
-			runOne(split)
+		for idx := 0; idx < parts; idx++ {
+			runOne(idx)
 		}
 	} else {
 		var wg sync.WaitGroup
-		splits := make(chan int)
+		idxs := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for split := range splits {
-					runOne(split)
+				for idx := range idxs {
+					runOne(idx)
 				}
 			}()
 		}
-		for split := 0; split < parts; split++ {
-			splits <- split
+		for idx := 0; idx < parts; idx++ {
+			idxs <- idx
 		}
-		close(splits)
+		close(idxs)
 		wg.Wait()
 	}
 
 	var spill, fetch, shared int64
-	tasks := make([]sim.Task, parts)
+	tasks := make([]sim.Task, parts, parts+parts/4)
 	for i, tc := range tcs {
 		spill += tc.spill
 		fetch += tc.fetchLocal + tc.fetchRemote
@@ -442,6 +648,9 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 			SharedWrite: tc.sharedWrite,
 		}
 	}
+	if c.conf.Speculation {
+		tasks = c.speculate(tcs, tasks, asOf)
+	}
 	rep := c.simul.RunStageReport(tasks)
 
 	c.mu.Lock()
@@ -449,6 +658,9 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 	c.bd.Shuffle += rep.ShuffleIO
 	c.bd.Broadcast += rep.SharedIO
 	c.bd.Overhead += rep.Overhead
+	if spec.attempt > 0 {
+		c.bd.Recovery += rep.Total
+	}
 	c.bd.ShuffleWriteBytes += spill
 	c.bd.ShuffleFetchBytes += fetch
 	c.bd.BroadcastBytes += shared
@@ -458,17 +670,18 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 	if rep.MeanTask > 0 {
 		skew = rep.MaxTask.Seconds() / rep.MeanTask.Seconds()
 	}
-	c.recordStageMetrics(kind, phase, parts, spill, fetch, skew, rep)
+	c.recordStageMetrics(spec.kind, spec.phase, parts, spill, fetch, skew, rep)
 	if c.obsv.TraceEnabled() {
-		c.emitStageSpans(kind, phase, stageID, spill, fetch, rep)
+		c.emitStageSpans(spec.kind, spec.phase, stageID, spill, fetch, rep)
 	}
 
 	c.appendEvent(StageEvent{
 		StageID:    stageID,
-		Kind:       kind,
+		Kind:       spec.kind,
+		Attempt:    spec.attempt,
 		Tasks:      parts,
-		ShuffleID:  shuffleID,
-		Phase:      phase,
+		ShuffleID:  spec.shuffleID,
+		Phase:      spec.phase,
 		Start:      rep.Start,
 		Duration:   rep.Total,
 		SpillBytes: spill,
@@ -476,6 +689,68 @@ func (c *Context) runStage(kind StageKind, shuffleID, parts int, phase string, w
 		MaxTask:    rep.MaxTask,
 		MeanTask:   rep.MeanTask,
 	})
+}
+
+// speculate applies speculative execution to a stage's virtual tasks:
+// tasks slower than SpeculationMultiplier × the SpeculationQuantile task
+// duration get a copy on the next alive executor. The copy's healthy
+// duration is the task's compute minus any injected straggler dilation
+// (plus a task launch); whichever of original and copy finishes first
+// wins, the loser is killed at that moment — so BOTH executors are
+// charged the winner's duration, exactly Spark's first-result-wins with
+// non-free losers.
+func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.Duration) []sim.Task {
+	if len(tcs) < 2 {
+		return tasks
+	}
+	durs := make([]simtime.Duration, len(tcs))
+	for i, tc := range tcs {
+		durs[i] = tc.compute
+	}
+	sortDurations(durs)
+	quantile := durs[int(c.conf.SpeculationQuantile*float64(len(durs)-1))]
+	threshold := simtime.Duration(quantile.Seconds() * c.conf.SpeculationMultiplier)
+	if threshold <= 0 {
+		return tasks
+	}
+	for i, tc := range tcs {
+		if tc.compute <= threshold {
+			continue
+		}
+		healthy := tc.compute - tc.slowed + c.model.TaskOverhead()
+		winner := simtime.Min(tc.compute, healthy)
+		c.rec.specLaunched.Add(1)
+		c.recm.specLaunched.Inc()
+		if healthy < tc.compute {
+			c.rec.specWins.Add(1)
+			c.recm.specWins.Inc()
+		}
+		tasks[i].Compute = winner
+		// The copy re-runs the task's compute on another executor until
+		// the winner finishes; its shuffle I/O stays with the original
+		// (the copy's partial fetches are not separately modelled).
+		copyNode := (tc.Node + 1) % c.conf.Cluster.Nodes
+		for j := 1; j < c.conf.Cluster.Nodes && c.nodeDown(copyNode, asOf); j++ {
+			copyNode = (copyNode + 1) % c.conf.Cluster.Nodes
+		}
+		tasks = append(tasks, sim.Task{
+			Node:        copyNode,
+			Compute:     winner,
+			Threads:     tc.Threads(),
+			IdleThreads: tc.idleThreads,
+		})
+	}
+	return tasks
+}
+
+// sortDurations is an insertion sort (stage task counts are small and the
+// hot path stays allocation-free).
+func sortDurations(d []simtime.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
 }
 
 // recordStageMetrics updates the always-on metric families for one
@@ -582,7 +857,7 @@ func (c *Context) ensureUpstream(ds *dataset, visited map[*dataset]bool) {
 		c.mu.Lock()
 		st := c.shuffles[sd.id]
 		c.mu.Unlock()
-		if st != nil && st.done {
+		if st != nil && st.isDone() {
 			return
 		}
 		c.ensureUpstream(sd.parent, visited)

@@ -31,8 +31,12 @@ func (k StageKind) String() string {
 // stage structure (e.g. the IM driver runs exactly three shuffles per
 // grid iteration); cmd/dpspark -v prints it.
 type StageEvent struct {
-	// StageID is the global stage counter value.
+	// StageID is the global stage counter value. Resubmitted recovery
+	// stages reuse their original stage's ID (see Attempt).
 	StageID int
+	// Attempt is the stage execution's attempt number: 0 for the planned
+	// run, ≥ 1 for resubmissions recomputing lost map outputs.
+	Attempt int
 	// Kind classifies the stage.
 	Kind StageKind
 	// Tasks is the number of tasks launched (one per partition).
@@ -98,9 +102,13 @@ func (c *Context) WriteTimeline(w io.Writer) error {
 		if ev.Phase != "" {
 			phase = " phase=" + ev.Phase
 		}
-		if _, err := fmt.Fprintf(w, "stage %4d %-11s tasks=%-5d start=%-10v dur=%-10v spill=%dB fetch=%dB%s%s\n",
+		attempt := ""
+		if ev.Attempt > 0 {
+			attempt = fmt.Sprintf(" attempt=%d", ev.Attempt)
+		}
+		if _, err := fmt.Fprintf(w, "stage %4d %-11s tasks=%-5d start=%-10v dur=%-10v spill=%dB fetch=%dB%s%s%s\n",
 			ev.StageID, ev.Kind, ev.Tasks, ev.Start, ev.Duration,
-			ev.SpillBytes, ev.FetchBytes, shuffle, phase); err != nil {
+			ev.SpillBytes, ev.FetchBytes, shuffle, phase, attempt); err != nil {
 			return err
 		}
 		spill += ev.SpillBytes

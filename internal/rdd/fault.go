@@ -1,0 +1,440 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dpspark/internal/obs"
+	"dpspark/internal/simtime"
+)
+
+// This file is the engine's whole-executor failure machinery: the
+// FaultPlan chaos schedule, the FetchFailed error that surfaces lost map
+// outputs on the reduce side, the exponential-backoff executor blacklist
+// that drives task re-placement, and the recovery counters the chaos
+// harness asserts on.
+//
+// Everything is keyed on deterministic state — global stage IDs and the
+// virtual clock — never wall time, so a seeded plan injects the same
+// faults at the same points on every run and the recovered results are
+// bit-identical to the fault-free execution.
+
+// ExecutorCrash schedules the loss of one executor at the start of one
+// stage: every live shuffle map output staged on the node is invalidated
+// (a later reduce-side fetch surfaces a FetchFailed and resubmits the map
+// stage for the lost partitions), tasks of the stage placed on the node
+// fail their first attempt ("executor lost"), and the node is
+// blacklisted.
+type ExecutorCrash struct {
+	// Stage is the global stage ID at whose start the crash fires.
+	Stage int
+	// Node is the executor that dies.
+	Node int
+	// Down is how long the executor stays blacklisted; 0 uses the
+	// context's exponential backoff (Conf.BlacklistBackoff doubling per
+	// repeated crash of the same node).
+	Down simtime.Duration
+}
+
+// DiskLoss schedules the loss of one node's shuffle staging disk at the
+// start of one stage: staged map outputs on the node are invalidated
+// (recovered via stage resubmission, like an executor crash) but the
+// executor itself stays schedulable.
+type DiskLoss struct {
+	// Stage is the global stage ID at whose start the loss fires.
+	Stage int
+	// Node is the node whose staging disk is wiped.
+	Node int
+}
+
+// Straggler schedules one slow task: the matching task's compute time is
+// dilated by Factor (the injected slowdown is recorded separately, so
+// speculative execution can estimate the task's healthy duration).
+type Straggler struct {
+	// Stage and Partition select the task.
+	Stage, Partition int
+	// Factor ≥ 1 multiplies the task's charged compute time.
+	Factor float64
+}
+
+// FaultPlan is a deterministic schedule of injected cluster failures,
+// attached via Conf.FaultPlan. Each event fires at most once per context,
+// when the named stage starts. Stage IDs are the engine's global stage
+// counter (see StageEvent.StageID); resubmitted recovery stages reuse
+// their original stage's ID, so planned numbering is identical with and
+// without faults.
+type FaultPlan struct {
+	// Seed records the generator seed for reports (informational).
+	Seed int64
+	// Crashes are the scheduled executor losses.
+	Crashes []ExecutorCrash
+	// DiskLosses are the scheduled staging-disk wipes.
+	DiskLosses []DiskLoss
+	// Stragglers are the scheduled slow tasks.
+	Stragglers []Straggler
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers) == 0
+}
+
+// validate checks the plan against a cluster size.
+func (p *FaultPlan) validate(nodes int) error {
+	for _, ev := range p.Crashes {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("rdd: FaultPlan crash at stage %d names node %d outside the %d-node cluster", ev.Stage, ev.Node, nodes)
+		}
+		if ev.Stage < 0 {
+			return fmt.Errorf("rdd: FaultPlan crash names negative stage %d", ev.Stage)
+		}
+		if ev.Down < 0 {
+			return fmt.Errorf("rdd: FaultPlan crash at stage %d has negative Down %v", ev.Stage, ev.Down)
+		}
+	}
+	for _, ev := range p.DiskLosses {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("rdd: FaultPlan disk loss at stage %d names node %d outside the %d-node cluster", ev.Stage, ev.Node, nodes)
+		}
+		if ev.Stage < 0 {
+			return fmt.Errorf("rdd: FaultPlan disk loss names negative stage %d", ev.Stage)
+		}
+	}
+	for _, ev := range p.Stragglers {
+		if ev.Factor < 1 {
+			return fmt.Errorf("rdd: FaultPlan straggler at stage %d task %d has factor %g < 1", ev.Stage, ev.Partition, ev.Factor)
+		}
+		if ev.Stage < 0 || ev.Partition < 0 {
+			return fmt.Errorf("rdd: FaultPlan straggler names negative stage %d / partition %d", ev.Stage, ev.Partition)
+		}
+	}
+	return nil
+}
+
+// RandomFaultPlan draws a seeded schedule of crashes, stragglers and disk
+// losses over the first `stages` stages of a run on a `nodes`-node
+// cluster. The same seed always yields the same plan, and replaying the
+// plan on the same job yields the same recovery trajectory — the chaos
+// harness's determinism rests on both.
+func RandomFaultPlan(seed int64, stages, nodes, crashes, stragglers, diskLosses int) *FaultPlan {
+	if stages < 2 {
+		stages = 2
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &FaultPlan{Seed: seed}
+	// Skip stage 0 so every fault hits a run with prior shuffle state to
+	// lose (a crash before any map output exists recovers trivially).
+	for i := 0; i < crashes; i++ {
+		p.Crashes = append(p.Crashes, ExecutorCrash{
+			Stage: 1 + rng.Intn(stages-1),
+			Node:  rng.Intn(nodes),
+		})
+	}
+	for i := 0; i < stragglers; i++ {
+		p.Stragglers = append(p.Stragglers, Straggler{
+			Stage:     1 + rng.Intn(stages-1),
+			Partition: rng.Intn(nodes * 2),
+			Factor:    2 + 4*rng.Float64(),
+		})
+	}
+	for i := 0; i < diskLosses; i++ {
+		p.DiskLosses = append(p.DiskLosses, DiskLoss{
+			Stage: 1 + rng.Intn(stages-1),
+			Node:  rng.Intn(nodes),
+		})
+	}
+	return p
+}
+
+// FetchFailedError is a reduce-side fetch hitting an invalidated map
+// output — Spark's FetchFailed. It indicts the parent map stage, not the
+// reduce task: the scheduler resubmits the map stage for the lost
+// partitions and retries the fetch without consuming a task attempt.
+type FetchFailedError struct {
+	// ShuffleID names the shuffle whose output is gone.
+	ShuffleID int
+	// MapPart is the lost map partition the fetch wanted.
+	MapPart int
+	// Node is the executor that staged (and lost) the output.
+	Node int
+	// Epoch is the shuffle's recovery epoch at failure time; recovery is
+	// skipped when another task already recovered past it.
+	Epoch int
+}
+
+// Error implements error.
+func (e *FetchFailedError) Error() string {
+	return fmt.Sprintf("rdd: fetch failed: shuffle %d map partition %d lost with executor %d", e.ShuffleID, e.MapPart, e.Node)
+}
+
+// maxStageAttempts bounds resubmissions of one map stage (Spark's
+// spark.stage.maxConsecutiveAttempts).
+const maxStageAttempts = 8
+
+// defaultBlacklistBackoff is the base executor blacklist duration after a
+// crash (spark.blacklist-style timeout, in virtual time).
+const defaultBlacklistBackoff = 30 * simtime.Second
+
+// faultState is a context's mutable failure bookkeeping: which plan
+// events already fired and the per-executor blacklist. The Conf's plan is
+// never mutated, so one plan can drive many contexts.
+type faultState struct {
+	mu         sync.Mutex
+	plan       FaultPlan
+	crashFired []bool
+	diskFired  []bool
+	// downUntil[n] is the virtual time node n's blacklist expires;
+	// strikes[n] counts its crashes (exponential backoff doubles per
+	// strike).
+	downUntil []simtime.Duration
+	strikes   []int
+}
+
+// newFaultState prepares the per-context bookkeeping for a plan.
+func newFaultState(p *FaultPlan, nodes int) *faultState {
+	if p.Empty() {
+		return nil
+	}
+	return &faultState{
+		plan:       *p,
+		crashFired: make([]bool, len(p.Crashes)),
+		diskFired:  make([]bool, len(p.DiskLosses)),
+		downUntil:  make([]simtime.Duration, nodes),
+		strikes:    make([]int, nodes),
+	}
+}
+
+// fireStageFaults fires the plan's crash and disk-loss events scheduled
+// for this stage (once each): crashed nodes are blacklisted with
+// exponential backoff and both event kinds invalidate the node's staged
+// map outputs. It returns the set of nodes that crashed at this stage —
+// their first-attempt tasks die with the executor.
+func (c *Context) fireStageFaults(stageID int) map[int]bool {
+	fs := c.faults
+	if fs == nil {
+		return nil
+	}
+	now := c.Clock()
+	fs.mu.Lock()
+	var crashed map[int]bool
+	var toLose []int
+	for i := range fs.plan.Crashes {
+		ev := &fs.plan.Crashes[i]
+		if ev.Stage != stageID || fs.crashFired[i] {
+			continue
+		}
+		fs.crashFired[i] = true
+		fs.strikes[ev.Node]++
+		backoff := c.conf.BlacklistBackoff
+		for s := 1; s < fs.strikes[ev.Node] && s < 6; s++ {
+			backoff *= 2
+		}
+		down := simtime.Max(ev.Down, backoff)
+		if until := now + down; until > fs.downUntil[ev.Node] {
+			fs.downUntil[ev.Node] = until
+		}
+		if crashed == nil {
+			crashed = make(map[int]bool)
+		}
+		crashed[ev.Node] = true
+		toLose = append(toLose, ev.Node)
+		c.rec.execCrashes.Add(1)
+		c.recm.injectCrash.Inc()
+	}
+	for i := range fs.plan.DiskLosses {
+		ev := &fs.plan.DiskLosses[i]
+		if ev.Stage != stageID || fs.diskFired[i] {
+			continue
+		}
+		fs.diskFired[i] = true
+		toLose = append(toLose, ev.Node)
+		c.rec.diskLosses.Add(1)
+		c.recm.injectDisk.Inc()
+	}
+	fs.mu.Unlock()
+	for _, node := range toLose {
+		c.loseNodeOutputs(node)
+	}
+	return crashed
+}
+
+// nodeDown reports whether a node is blacklisted at the given time.
+func (c *Context) nodeDown(node int, asOf simtime.Duration) bool {
+	fs := c.faults
+	if fs == nil {
+		return false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return asOf < fs.downUntil[node]
+}
+
+// placeNode assigns a task its executor: the partition's home node unless
+// that node is blacklisted, in which case the next alive node in ring
+// order takes it (deterministic re-placement off a flapping executor).
+func (c *Context) placeNode(split int, asOf simtime.Duration) int {
+	home := c.nodeOf(split)
+	if !c.nodeDown(home, asOf) {
+		return home
+	}
+	nodes := c.conf.Cluster.Nodes
+	for i := 1; i < nodes; i++ {
+		n := (home + i) % nodes
+		if !c.nodeDown(n, asOf) {
+			c.rec.blacklisted.Add(1)
+			c.recm.blacklisted.Inc()
+			return n
+		}
+	}
+	return home // every node down: schedule home and let it run
+}
+
+// stragglerFactor returns the injected slowdown for a task, or 1.
+func (c *Context) stragglerFactor(stageID, split int) float64 {
+	fs := c.faults
+	if fs == nil {
+		return 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	factor := 1.0
+	for _, ev := range fs.plan.Stragglers {
+		if ev.Stage == stageID && ev.Partition == split && ev.Factor > factor {
+			factor = ev.Factor
+		}
+	}
+	return factor
+}
+
+// loseNodeOutputs invalidates every live shuffle map output staged on a
+// node: matching bucket refs are flagged lost (a later fetch panics with
+// FetchFailedError) and their staged bytes are released from the node's
+// simulated disk — the data died with the executor/disk.
+func (c *Context) loseNodeOutputs(node int) {
+	c.mu.Lock()
+	states := make([]*shuffleState, 0, len(c.shuffles))
+	for _, st := range c.shuffles {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	for _, st := range states {
+		var lostBytes int64
+		st.mu.Lock()
+		if st.done && !st.retired {
+			for p, n := range st.mapNode {
+				if n != node || st.refsByMap[p] == 0 || st.lost[p] {
+					continue
+				}
+				if st.lost == nil {
+					st.lost = make(map[int]bool)
+				}
+				st.lost[p] = true
+				lostBytes += st.spillByMap[p]
+			}
+			st.spillByNode[node] -= lostBytes
+		}
+		st.mu.Unlock()
+		if lostBytes > 0 {
+			c.simul.ReleaseShuffle(node, lostBytes)
+		}
+	}
+}
+
+// recovery holds a context's recovery counters (atomics: tasks update
+// them concurrently). The same increments are mirrored into the metrics
+// registry via recoveryMetrics; these fields power RecoveryStats for
+// tests without scraping.
+type recovery struct {
+	taskRetries     atomic.Int64
+	fetchFailures   atomic.Int64
+	stageResubmits  atomic.Int64
+	recomputedParts atomic.Int64
+	specLaunched    atomic.Int64
+	specWins        atomic.Int64
+	blacklisted     atomic.Int64
+	execCrashes     atomic.Int64
+	diskLosses      atomic.Int64
+	stragglers      atomic.Int64
+	faultKills      atomic.Int64
+}
+
+// recoveryMetrics are the pre-resolved registry handles for the recovery
+// counter families (resolved once in NewContext; hot paths only Inc).
+type recoveryMetrics struct {
+	taskRetries     *obs.Counter
+	fetchFailures   *obs.Counter
+	stageResubmits  *obs.Counter
+	recomputedParts *obs.Counter
+	specLaunched    *obs.Counter
+	specWins        *obs.Counter
+	blacklisted     *obs.Counter
+	injectTask      *obs.Counter
+	injectCrash     *obs.Counter
+	injectDisk      *obs.Counter
+	injectStraggler *obs.Counter
+}
+
+// newRecoveryMetrics resolves the recovery counter families against a
+// registry. fault_injections_total is labelled by fault kind; the other
+// families are single-series.
+func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
+	return recoveryMetrics{
+		taskRetries:     reg.Counter("dpspark_task_retries_total", nil),
+		fetchFailures:   reg.Counter("dpspark_fetch_failures_total", nil),
+		stageResubmits:  reg.Counter("dpspark_stage_resubmits_total", nil),
+		recomputedParts: reg.Counter("dpspark_recomputed_map_partitions_total", nil),
+		specLaunched:    reg.Counter("dpspark_speculative_tasks_total", nil),
+		specWins:        reg.Counter("dpspark_speculation_wins_total", nil),
+		blacklisted:     reg.Counter("dpspark_blacklist_placements_total", nil),
+		injectTask:      reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "task"}),
+		injectCrash:     reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "executor-crash"}),
+		injectDisk:      reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "disk-loss"}),
+		injectStraggler: reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "straggler"}),
+	}
+}
+
+// RecoveryStats is a snapshot of the context's failure/recovery counters.
+type RecoveryStats struct {
+	// TaskRetries counts task attempts beyond the first (panics, injected
+	// task kills, executor-loss kills).
+	TaskRetries int64
+	// FetchFailures counts reduce-side fetches that hit a lost map output.
+	FetchFailures int64
+	// StageResubmits counts map-stage resubmissions triggered by fetch
+	// failures.
+	StageResubmits int64
+	// RecomputedMapPartitions counts map partitions recomputed by
+	// resubmitted stages (only the lost ones — never the full stage).
+	RecomputedMapPartitions int64
+	// SpeculativeTasks and SpeculationWins count speculative copies
+	// launched and copies that beat the original.
+	SpeculativeTasks, SpeculationWins int64
+	// BlacklistPlacements counts tasks placed off their home node because
+	// it was blacklisted.
+	BlacklistPlacements int64
+	// ExecutorCrashes, DiskLosses and Stragglers count fired plan events;
+	// FaultKills counts task attempts killed by Conf.FaultInjector.
+	ExecutorCrashes, DiskLosses, Stragglers, FaultKills int64
+}
+
+// RecoveryStats returns the context's failure/recovery counters so far.
+func (c *Context) RecoveryStats() RecoveryStats {
+	return RecoveryStats{
+		TaskRetries:             c.rec.taskRetries.Load(),
+		FetchFailures:           c.rec.fetchFailures.Load(),
+		StageResubmits:          c.rec.stageResubmits.Load(),
+		RecomputedMapPartitions: c.rec.recomputedParts.Load(),
+		SpeculativeTasks:        c.rec.specLaunched.Load(),
+		SpeculationWins:         c.rec.specWins.Load(),
+		BlacklistPlacements:     c.rec.blacklisted.Load(),
+		ExecutorCrashes:         c.rec.execCrashes.Load(),
+		DiskLosses:              c.rec.diskLosses.Load(),
+		Stragglers:              c.rec.stragglers.Load(),
+		FaultKills:              c.rec.faultKills.Load(),
+	}
+}

@@ -1,0 +1,324 @@
+package rdd
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/simtime"
+)
+
+// Reduce-side fault-injection tests: executor crashes and staging-disk
+// losses invalidate shuffle map outputs, a later fetch surfaces a
+// FetchFailed, and the scheduler resubmits the parent map stage for
+// exactly the lost partitions — Spark's recovery path, on the simulated
+// engine.
+
+// shuffledDoubles builds a one-shuffle job: `parts` map partitions stage
+// buckets (the Map discards the source partitioner, so the PartitionBy is
+// a real shuffle), then a result stage fetches every bucket.
+func shuffledDoubles(ctx *Context, parts int) *RDD[Pair[int, int]] {
+	in := Map(Parallelize(ctx, ints(20), parts), func(_ *TaskContext, x int) Pair[int, int] {
+		return KV(x, 2*x)
+	})
+	return PartitionBy(in, NewHashPartitioner(parts))
+}
+
+// collectSorted collects the pairs into a key-indexed map.
+func collectPairs(t *testing.T, r *RDD[Pair[int, int]]) map[int]int {
+	t.Helper()
+	got, err := CollectMap(r)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return got
+}
+
+// TestFetchFailureResubmitsMapStage: a crash firing at the reduce stage
+// invalidates the crashed node's map outputs; the reduce-side fetch must
+// fail, the map stage must be resubmitted for only the lost partitions,
+// and the job must still produce the right answer.
+func TestFetchFailureResubmitsMapStage(t *testing.T) {
+	const parts = 4
+	// Stage 0 is the shuffle map stage, stage 1 the collecting result
+	// stage; the crash fires as stage 1 starts, after the map outputs
+	// were staged (partitions 0 and 2 live on node 0).
+	ctx := NewContext(Conf{
+		Cluster:   cluster.LocalN(2, 2),
+		FaultPlan: &FaultPlan{Crashes: []ExecutorCrash{{Stage: 1, Node: 0}}},
+	})
+	got := collectPairs(t, shuffledDoubles(ctx, parts))
+	if len(got) != 20 || got[7] != 14 {
+		t.Fatalf("collect = %v", got)
+	}
+
+	rs := ctx.RecoveryStats()
+	if rs.ExecutorCrashes != 1 {
+		t.Fatalf("crashes = %d, want 1", rs.ExecutorCrashes)
+	}
+	if rs.FetchFailures == 0 {
+		t.Fatalf("reduce-side fetch must fail after the crash: %+v", rs)
+	}
+	if rs.StageResubmits == 0 {
+		t.Fatalf("map stage must be resubmitted: %+v", rs)
+	}
+	// Only node 0's two map partitions are recomputed — never the full
+	// stage.
+	if rs.RecomputedMapPartitions == 0 || rs.RecomputedMapPartitions >= int64(parts)*rs.StageResubmits {
+		t.Fatalf("resubmission must recompute only the lost partitions: %+v", rs)
+	}
+
+	// The event log shows the resubmission: same stage ID, attempt 1,
+	// fewer tasks than the planned run.
+	var planned, resubmitted *StageEvent
+	for i := range ctx.Events() {
+		ev := &ctx.Events()[i]
+		if ev.Kind != StageShuffleMap {
+			continue
+		}
+		switch ev.Attempt {
+		case 0:
+			planned = ev
+		default:
+			resubmitted = ev
+		}
+	}
+	if planned == nil || resubmitted == nil {
+		t.Fatalf("events = %+v", ctx.Events())
+	}
+	if resubmitted.StageID != planned.StageID {
+		t.Fatalf("resubmission must reuse the stage ID: %d vs %d", resubmitted.StageID, planned.StageID)
+	}
+	if resubmitted.Tasks >= planned.Tasks {
+		t.Fatalf("resubmission reran %d of %d tasks", resubmitted.Tasks, planned.Tasks)
+	}
+}
+
+// TestDiskLossRecoveredWithoutBlacklist: a staging-disk loss invalidates
+// the node's map outputs like a crash, but the executor stays schedulable
+// (no blacklist placements).
+func TestDiskLossRecoveredWithoutBlacklist(t *testing.T) {
+	ctx := NewContext(Conf{
+		Cluster:   cluster.LocalN(2, 2),
+		FaultPlan: &FaultPlan{DiskLosses: []DiskLoss{{Stage: 1, Node: 1}}},
+	})
+	got := collectPairs(t, shuffledDoubles(ctx, 4))
+	if len(got) != 20 {
+		t.Fatalf("collect = %v", got)
+	}
+	rs := ctx.RecoveryStats()
+	if rs.DiskLosses != 1 || rs.StageResubmits == 0 {
+		t.Fatalf("disk loss must trigger resubmission: %+v", rs)
+	}
+	if rs.BlacklistPlacements != 0 {
+		t.Fatalf("disk loss must not blacklist the executor: %+v", rs)
+	}
+}
+
+// TestCrashedExecutorTasksRePlaced: tasks of the crashing stage die with
+// the executor ("executor lost"), are retried, and the retry lands on
+// another node because the crashed one is blacklisted.
+func TestCrashedExecutorTasksRePlaced(t *testing.T) {
+	ctx := NewContext(Conf{
+		Cluster:   cluster.LocalN(2, 2),
+		FaultPlan: &FaultPlan{Crashes: []ExecutorCrash{{Stage: 0, Node: 1}}},
+	})
+	got := collectPairs(t, shuffledDoubles(ctx, 4))
+	if len(got) != 20 {
+		t.Fatalf("collect = %v", got)
+	}
+	rs := ctx.RecoveryStats()
+	if rs.TaskRetries == 0 {
+		t.Fatalf("first attempts must die with the executor: %+v", rs)
+	}
+	if rs.BlacklistPlacements == 0 {
+		t.Fatalf("retries must be placed off the blacklisted node: %+v", rs)
+	}
+}
+
+// TestBlacklistBackoffDoubles: repeated crashes of the same node extend
+// the blacklist exponentially.
+func TestBlacklistBackoffDoubles(t *testing.T) {
+	ctx := NewContext(Conf{
+		Cluster:          cluster.LocalN(2, 2),
+		BlacklistBackoff: 10 * simtime.Second,
+		FaultPlan: &FaultPlan{Crashes: []ExecutorCrash{
+			{Stage: 0, Node: 1},
+			{Stage: 1, Node: 1},
+		}},
+	})
+	start := ctx.Clock()
+	ctx.fireStageFaults(0)
+	first := ctx.faults.downUntil[1] - start
+	mid := ctx.Clock()
+	ctx.fireStageFaults(1)
+	second := ctx.faults.downUntil[1] - mid
+	if first != 10*simtime.Second {
+		t.Fatalf("first backoff = %v", first)
+	}
+	if second != 20*simtime.Second {
+		t.Fatalf("second backoff must double: %v", second)
+	}
+}
+
+// TestStragglerDilatesAndSpeculationRecovers: an injected straggler must
+// slow the job, and enabling speculation must claw most of that time back
+// (the copy on a healthy executor wins).
+func TestStragglerDilatesAndSpeculationRecovers(t *testing.T) {
+	run := func(plan *FaultPlan, speculate bool) (simtime.Duration, RecoveryStats) {
+		ctx := NewContext(Conf{
+			Cluster:     cluster.LocalN(2, 2),
+			FaultPlan:   plan,
+			Speculation: speculate,
+		})
+		r := Map(Parallelize(ctx, ints(8), 4), func(tc *TaskContext, x int) int {
+			tc.ChargeCompute(10*simtime.Second, 1)
+			return x
+		})
+		if _, err := r.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Clock(), ctx.RecoveryStats()
+	}
+
+	plan := &FaultPlan{Stragglers: []Straggler{{Stage: 0, Partition: 1, Factor: 8}}}
+	clean, _ := run(nil, false)
+	slow, srs := run(plan, false)
+	spec, prs := run(plan, true)
+
+	if srs.Stragglers != 1 {
+		t.Fatalf("straggler injections = %+v", srs)
+	}
+	if slow < clean+60*simtime.Second {
+		t.Fatalf("factor-8 straggler on a 10s task must add ~70s: clean %v, slow %v", clean, slow)
+	}
+	if prs.SpeculativeTasks == 0 || prs.SpeculationWins == 0 {
+		t.Fatalf("speculation must launch and win a copy: %+v", prs)
+	}
+	if spec >= slow {
+		t.Fatalf("speculation must beat the straggler: %v vs %v", spec, slow)
+	}
+	if spec < clean {
+		t.Fatalf("the losing copy's work is not free: %v vs clean %v", spec, clean)
+	}
+}
+
+// TestRecoveryMetricsExported: the recovery counters are mirrored into
+// the metrics registry (task_retries_total, fault_injections_total and
+// the resubmission families).
+func TestRecoveryMetricsExported(t *testing.T) {
+	ctx := NewContext(Conf{
+		Cluster: cluster.LocalN(2, 2),
+		FaultPlan: &FaultPlan{
+			Crashes:    []ExecutorCrash{{Stage: 1, Node: 0}},
+			Stragglers: []Straggler{{Stage: 0, Partition: 1, Factor: 2}},
+		},
+		FaultInjector: func(stageID, partition, attempt int) bool {
+			return stageID == 0 && partition == 3 && attempt == 0
+		},
+	})
+	collectPairs(t, shuffledDoubles(ctx, 4))
+
+	reg := ctx.Observer().Metrics()
+	rs := ctx.RecoveryStats()
+	for name, want := range map[string]int64{
+		"dpspark_task_retries_total":              rs.TaskRetries,
+		"dpspark_fetch_failures_total":            rs.FetchFailures,
+		"dpspark_stage_resubmits_total":           rs.StageResubmits,
+		"dpspark_recomputed_map_partitions_total": rs.RecomputedMapPartitions,
+		"dpspark_fault_injections_total":          rs.ExecutorCrashes + rs.DiskLosses + rs.Stragglers + rs.FaultKills,
+	} {
+		if got := reg.CounterTotal(name); got != want || want == 0 {
+			t.Fatalf("%s = %d, want %d (nonzero)", name, got, want)
+		}
+	}
+}
+
+// TestRandomFaultPlanDeterministic: the same seed yields the same plan;
+// the plan passes its own validation for the cluster it was drawn for.
+func TestRandomFaultPlanDeterministic(t *testing.T) {
+	a := RandomFaultPlan(42, 12, 4, 2, 2, 1)
+	b := RandomFaultPlan(42, 12, 4, 2, 2, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c := RandomFaultPlan(43, 12, 4, 2, 2, 1)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	if err := a.validate(4); err != nil {
+		t.Fatalf("drawn plan invalid: %v", err)
+	}
+	if len(a.Crashes) != 2 || len(a.Stragglers) != 2 || len(a.DiskLosses) != 1 {
+		t.Fatalf("plan = %+v", a)
+	}
+}
+
+// TestConfNormalization: Conf validation is centralized — bad settings
+// panic out of NewContext with an error naming the field.
+func TestConfNormalization(t *testing.T) {
+	cases := []struct {
+		name string
+		conf Conf
+		want string
+	}{
+		{"negative attempts", Conf{Cluster: cluster.Local(2), MaxTaskAttempts: -1}, "MaxTaskAttempts"},
+		{"negative keep", Conf{Cluster: cluster.Local(2), KeepShuffles: -2}, "KeepShuffles"},
+		{"negative backoff", Conf{Cluster: cluster.Local(2), BlacklistBackoff: -simtime.Second}, "BlacklistBackoff"},
+		{"multiplier below 1", Conf{Cluster: cluster.Local(2), SpeculationMultiplier: 0.5}, "SpeculationMultiplier"},
+		{"quantile at 1", Conf{Cluster: cluster.Local(2), SpeculationQuantile: 1}, "SpeculationQuantile"},
+		{"plan outside cluster", Conf{Cluster: cluster.Local(2),
+			FaultPlan: &FaultPlan{Crashes: []ExecutorCrash{{Stage: 1, Node: 7}}}}, "node 7"},
+		{"straggler factor", Conf{Cluster: cluster.Local(2),
+			FaultPlan: &FaultPlan{Stragglers: []Straggler{{Stage: 1, Partition: 0, Factor: 0.5}}}}, "factor"},
+		{"no cluster", Conf{}, "Cluster"},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("%s: NewContext must panic", tc.name)
+				}
+				err, ok := p.(error)
+				if !ok || !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("%s: panic = %v, want mention of %q", tc.name, p, tc.want)
+				}
+			}()
+			NewContext(tc.conf)
+		}()
+	}
+	// And the defaults land where Spark's do.
+	conf := Conf{Cluster: cluster.Local(2)}
+	if err := conf.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if conf.MaxTaskAttempts != 4 || conf.KeepShuffles != 8 ||
+		conf.BlacklistBackoff != 30*simtime.Second ||
+		conf.SpeculationMultiplier != 1.5 || conf.SpeculationQuantile != 0.75 {
+		t.Fatalf("defaults = %+v", conf)
+	}
+}
+
+// TestFaultPlanRunsAreDeterministic: two contexts driven by the same plan
+// produce identical clocks, recovery counters and event logs.
+func TestFaultPlanRunsAreDeterministic(t *testing.T) {
+	plan := RandomFaultPlan(7, 2, 2, 1, 1, 1)
+	run := func() (simtime.Duration, RecoveryStats, []StageEvent) {
+		ctx := NewContext(Conf{Cluster: cluster.LocalN(2, 2), FaultPlan: plan, Speculation: true})
+		collectPairs(t, shuffledDoubles(ctx, 4))
+		return ctx.Clock(), ctx.RecoveryStats(), ctx.Events()
+	}
+	c1, r1, e1 := run()
+	c2, r2, e2 := run()
+	if c1 != c2 {
+		t.Fatalf("clocks differ: %v vs %v", c1, c2)
+	}
+	if r1 != r2 {
+		t.Fatalf("recovery stats differ:\n%+v\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("event logs differ:\n%+v\n%+v", e1, e2)
+	}
+}

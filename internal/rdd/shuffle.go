@@ -71,11 +71,67 @@ type bucketRef struct {
 // shuffle generations are retired, emulating Spark's shuffle cleanup.
 func (c *Context) runMapStage(sd *shuffleDep) {
 	mapParts := sd.parent.parts
-	p := sd.part.NumPartitions()
-	perSplit := make([]map[int][]keyedRecord, mapParts)
-	spillBySplit := make([]int64, mapParts)
+	st := &shuffleState{
+		dep:         sd,
+		byReduce:    make([][]bucketRef, sd.part.NumPartitions()),
+		spillByNode: make([]int64, c.conf.Cluster.Nodes),
+		mapNode:     make([]int, mapParts),
+		spillByMap:  make([]int64, mapParts),
+		refsByMap:   make([]int, mapParts),
+	}
+	c.mu.Lock()
+	st.mapStage = c.nextStage
+	c.nextStage++
+	c.mu.Unlock()
 
-	c.runStage(StageShuffleMap, sd.id, mapParts, sd.phase, func(tc *TaskContext, split int) {
+	c.execMapTasks(st, nil)
+
+	st.mu.Lock()
+	// Deterministic reduce-side order: contributions sorted by map task.
+	for _, refs := range st.byReduce {
+		sortBucketRefs(refs)
+	}
+	st.done = true
+	st.mu.Unlock()
+	c.mu.Lock()
+	c.shuffles[sd.id] = st
+	c.shuffleLog = append(c.shuffleLog, sd.id)
+	c.mu.Unlock()
+	c.retireOldShuffles()
+}
+
+// execMapTasks runs the map tasks of a shuffle and merges their buckets
+// into the shuffle state. splits == nil runs the full map stage (every
+// parent partition, the initial materialization); a non-nil splits list
+// is a resubmission recomputing exactly those (lost) partitions — the
+// stage re-executes under its original stage ID with a bumped attempt.
+func (c *Context) execMapTasks(st *shuffleState, splits []int) {
+	sd := st.dep
+	n := len(splits)
+	if splits == nil {
+		n = sd.parent.parts
+	}
+	st.mu.Lock()
+	st.attempts++
+	attempt := st.attempts - 1
+	st.mu.Unlock()
+
+	perTask := make([]map[int][]keyedRecord, n)
+	spillByTask := make([]int64, n)
+	nodeByTask := make([]int, n)
+
+	c.execStage(stageSpec{
+		kind:      StageShuffleMap,
+		shuffleID: sd.id,
+		parts:     n,
+		phase:     sd.phase,
+		stageID:   st.mapStage,
+		attempt:   attempt,
+		splits:    splits,
+	}, func(tc *TaskContext, idx, split int) {
+		nodeByTask[idx] = tc.Node
+		perTask[idx] = nil
+		spillByTask[idx] = 0
 		recs := c.iterate(sd.parent, split, tc)
 		if len(recs) == 0 {
 			return
@@ -133,17 +189,22 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 		}
 
 		tc.spill += spill
-		perSplit[split] = buckets
-		spillBySplit[split] = spill
+		perTask[idx] = buckets
+		spillByTask[idx] = spill
 	})
 
-	st := &shuffleState{
-		dep:         sd,
-		byReduce:    make([][]bucketRef, p),
-		spillByNode: make([]int64, c.conf.Cluster.Nodes),
-	}
-	for split, buckets := range perSplit {
-		st.spillByNode[c.nodeOf(split)] += spillBySplit[split]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for idx := 0; idx < n; idx++ {
+		split := idx
+		if splits != nil {
+			split = splits[idx]
+		}
+		st.mapNode[split] = nodeByTask[idx]
+		st.spillByMap[split] = spillByTask[idx]
+		st.spillByNode[nodeByTask[idx]] += spillByTask[idx]
+		st.refsByMap[split] = 0
+		buckets := perTask[idx]
 		if buckets == nil {
 			continue
 		}
@@ -153,23 +214,89 @@ func (c *Context) runMapStage(sd *shuffleDep) {
 				bytes += c.sizer(kr.key) + c.sizer(kr.val)
 			}
 			st.byReduce[b] = append(st.byReduce[b], bucketRef{mapPart: split, recs: recs, bytes: bytes})
+			st.refsByMap[split]++
 		}
 		// The slices now belong to the shuffle state (recycled when the
 		// generation retires); the map itself recycles immediately.
 		clear(buckets)
 		bucketMapPool.Put(buckets)
-		perSplit[split] = nil
+		perTask[idx] = nil
 	}
-	// Deterministic reduce-side order: contributions sorted by map task.
+}
+
+// recoverShuffle resubmits a shuffle's map stage after a reduce-side
+// fetch failure, recomputing only the lost map partitions — Spark's
+// parent-stage resubmission on FetchFailed. Concurrent failures of the
+// same shuffle serialize on recMu; whoever arrives after a completed
+// recovery (the epoch advanced past the failure's) returns immediately
+// and simply retries its fetch.
+func (c *Context) recoverShuffle(ff *FetchFailedError) error {
+	c.mu.Lock()
+	st := c.shuffles[ff.ShuffleID]
+	c.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("rdd: shuffle %d vanished during recovery", ff.ShuffleID)
+	}
+	st.recMu.Lock()
+	defer st.recMu.Unlock()
+
+	st.mu.Lock()
+	if st.epoch != ff.Epoch {
+		st.mu.Unlock()
+		return nil // someone else already recovered past this failure
+	}
+	if st.attempts >= maxStageAttempts {
+		st.mu.Unlock()
+		return fmt.Errorf("rdd: shuffle %d map stage failed after %d attempts: %v",
+			ff.ShuffleID, st.attempts, ff)
+	}
+	lost := make([]int, 0, len(st.lost))
+	for p := range st.lost {
+		lost = append(lost, p)
+	}
+	sortInts(lost)
+	// Drop the invalidated contributions: the staged data died with the
+	// executor; recomputation re-stages it.
+	for b, refs := range st.byReduce {
+		keep := refs[:0]
+		for _, ref := range refs {
+			if st.lost[ref.mapPart] {
+				putRecSlice(ref.recs)
+			} else {
+				keep = append(keep, ref)
+			}
+		}
+		st.byReduce[b] = keep
+	}
+	st.mu.Unlock()
+
+	c.rec.stageResubmits.Add(1)
+	c.recm.stageResubmits.Inc()
+
+	c.execMapTasks(st, lost)
+
+	st.mu.Lock()
+	for _, p := range lost {
+		delete(st.lost, p)
+	}
 	for _, refs := range st.byReduce {
 		sortBucketRefs(refs)
 	}
-	st.done = true
-	c.mu.Lock()
-	c.shuffles[sd.id] = st
-	c.shuffleLog = append(c.shuffleLog, sd.id)
-	c.mu.Unlock()
-	c.retireOldShuffles()
+	st.epoch++
+	st.mu.Unlock()
+
+	c.rec.recomputedParts.Add(int64(len(lost)))
+	c.recm.recomputedParts.Add(int64(len(lost)))
+	return c.Err()
+}
+
+// sortInts is an allocation-free insertion sort for small index lists.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
 }
 
 // sortBucketRefs orders contributions by map partition (insertion is
@@ -185,12 +312,21 @@ func sortBucketRefs(refs []bucketRef) {
 // readShuffle is the reduce side: fetch this partition's buckets from the
 // map tasks that produced any, charging local-disk vs network traffic by
 // locality, then concatenate (PartitionBy) or merge combiners
-// (CombineByKey).
+// (CombineByKey). A bucket whose map output was invalidated (executor
+// crash, disk loss) raises FetchFailedError — the task layer catches it
+// and resubmits the map stage for the lost partitions. The read holds the
+// shuffle's read lock throughout, so a concurrent recovery can only
+// rewrite the buckets between whole reads.
 func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Record {
 	c.mu.Lock()
 	st := c.shuffles[sd.id]
 	c.mu.Unlock()
-	if st == nil || !st.done {
+	if st == nil {
+		panic(fmt.Sprintf("rdd: shuffle %d read before materialization", sd.id))
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock() // also released when a lost bucket panics below
+	if !st.done {
 		panic(fmt.Sprintf("rdd: shuffle %d read before materialization", sd.id))
 	}
 	if st.retired {
@@ -198,12 +334,22 @@ func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Reco
 	}
 
 	refs := st.byReduce[split]
+	for _, ref := range refs {
+		if st.lost[ref.mapPart] {
+			panic(&FetchFailedError{
+				ShuffleID: sd.id,
+				MapPart:   ref.mapPart,
+				Node:      st.mapNode[ref.mapPart],
+				Epoch:     st.epoch,
+			})
+		}
+	}
 	var recs []Record
 	if sd.combining() {
 		combiners := make(map[any]any)
 		var order []any
 		for _, ref := range refs {
-			c.chargeFetch(tc, ref.mapPart, ref.bytes)
+			c.chargeFetch(tc, st.mapNode[ref.mapPart], ref.bytes)
 			for _, kr := range ref.recs {
 				if comb, seen := combiners[kr.key]; seen {
 					combiners[kr.key] = sd.mergeComb(comb, kr.val)
@@ -224,7 +370,7 @@ func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Reco
 		}
 		recs = make([]Record, 0, total)
 		for _, ref := range refs {
-			c.chargeFetch(tc, ref.mapPart, ref.bytes)
+			c.chargeFetch(tc, st.mapNode[ref.mapPart], ref.bytes)
 			for _, kr := range ref.recs {
 				if kr.rec != nil {
 					recs = append(recs, kr.rec)
@@ -237,12 +383,14 @@ func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Reco
 	return recs
 }
 
-// chargeFetch attributes a bucket read to local disk or the network.
-func (c *Context) chargeFetch(tc *TaskContext, mapPart int, bytes int64) {
+// chargeFetch attributes a bucket read to local disk or the network,
+// based on the node the map output actually lives on (after blacklist
+// re-placement or recovery that may differ from the partition's home).
+func (c *Context) chargeFetch(tc *TaskContext, mapNode int, bytes int64) {
 	if bytes == 0 {
 		return
 	}
-	if c.nodeOf(mapPart) == tc.Node {
+	if mapNode == tc.Node {
 		tc.fetchLocal += bytes
 	} else {
 		tc.fetchRemote += bytes
@@ -254,20 +402,27 @@ func (c *Context) chargeFetch(tc *TaskContext, mapPart int, bytes int64) {
 func (c *Context) retireOldShuffles() {
 	c.mu.Lock()
 	var toRetire []*shuffleState
-	var retiredBuckets [][][]bucketRef
 	if n := len(c.shuffleLog) - c.conf.KeepShuffles; n > 0 {
 		for _, id := range c.shuffleLog[:n] {
-			if st := c.shuffles[id]; st != nil && !st.retired {
-				st.retired = true
-				retiredBuckets = append(retiredBuckets, st.byReduce)
-				st.byReduce = nil
+			if st := c.shuffles[id]; st != nil {
 				toRetire = append(toRetire, st)
 			}
 		}
 	}
 	c.mu.Unlock()
+	var retiredBuckets [][][]bucketRef
 	for _, st := range toRetire {
-		for node, bytes := range st.spillByNode {
+		st.mu.Lock()
+		if st.retired {
+			st.mu.Unlock()
+			continue
+		}
+		st.retired = true
+		retiredBuckets = append(retiredBuckets, st.byReduce)
+		st.byReduce = nil
+		spillByNode := st.spillByNode
+		st.mu.Unlock()
+		for node, bytes := range spillByNode {
 			c.simul.ReleaseShuffle(node, bytes)
 		}
 	}

@@ -17,7 +17,11 @@ type TaskContext struct {
 
 	ctx *Context
 
-	compute     simtime.Duration
+	compute simtime.Duration
+	// slowed is the portion of compute injected by a FaultPlan straggler;
+	// speculative execution subtracts it to estimate the task's healthy
+	// duration on another executor.
+	slowed      simtime.Duration
 	threads     int
 	idleThreads int
 	sharedRead  int64

@@ -13,6 +13,11 @@ type BreakdownRow struct {
 	Name string
 	// Compute, Shuffle, Broadcast and Overhead sum to the run's time.
 	Compute, Shuffle, Broadcast, Overhead simtime.Duration
+	// Recovery is the time spent in resubmitted stages recomputing lost
+	// shuffle map outputs; it overlaps the four phases above (they
+	// already contain it) and is shown as its own column, not added to
+	// the total.
+	Recovery simtime.Duration
 	// ShuffleBytes and BroadcastBytes are the run's data movement.
 	ShuffleBytes, BroadcastBytes int64
 	// Skew is the worst per-stage MaxTask/MeanTask straggler ratio.
@@ -20,14 +25,15 @@ type BreakdownRow struct {
 }
 
 // NewBreakdownTable renders per-run phase breakdowns as a table: one row
-// per run, columns for each phase, the phase sum, traffic and skew.
+// per run, columns for each phase, the phase sum, the overlapping
+// recovery share, traffic and skew.
 func NewBreakdownTable(title string, rows []BreakdownRow) *Table {
 	names := make([]string, len(rows))
 	for i, r := range rows {
 		names[i] = r.Name
 	}
 	t := NewTable(title, "run", names,
-		[]string{"compute", "shuffle", "broadcast", "overhead", "total", "shuffleB", "bcastB", "skew"})
+		[]string{"compute", "shuffle", "broadcast", "overhead", "total", "recovery", "shuffleB", "bcastB", "skew"})
 	for i, r := range rows {
 		total := r.Compute + r.Shuffle + r.Broadcast + r.Overhead
 		t.Set(i, 0, Seconds(r.Compute, false))
@@ -35,9 +41,10 @@ func NewBreakdownTable(title string, rows []BreakdownRow) *Table {
 		t.Set(i, 2, Seconds(r.Broadcast, false))
 		t.Set(i, 3, Seconds(r.Overhead, false))
 		t.Set(i, 4, Seconds(total, false))
-		t.Set(i, 5, Bytes(r.ShuffleBytes))
-		t.Set(i, 6, Bytes(r.BroadcastBytes))
-		t.Set(i, 7, fmt.Sprintf("%.2f", r.Skew))
+		t.Set(i, 5, Seconds(r.Recovery, false))
+		t.Set(i, 6, Bytes(r.ShuffleBytes))
+		t.Set(i, 7, Bytes(r.BroadcastBytes))
+		t.Set(i, 8, fmt.Sprintf("%.2f", r.Skew))
 	}
 	return t
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Regenerate the committed benchmark trajectory files:
 #
-#   BENCH_kernels.json — real-mode kernel microbenchmarks
-#   BENCH_engine.json  — real-mode engine/baseline runs + model-mode
-#                        headline experiments (Table I/II, Fig. 6)
+#   BENCH_kernels.json  — real-mode kernel microbenchmarks
+#   BENCH_engine.json   — real-mode engine/baseline runs + model-mode
+#                         headline experiments (Table I/II, Fig. 6)
+#   BENCH_recovery.json — modelled recovery overhead under the standard
+#                         seeded fault plan (crash-rate sweep, IM vs CB,
+#                         speculation saving)
 #
 # Usage:
 #   scripts/bench.sh              # full run (go test default benchtime)
@@ -22,4 +25,8 @@ go test -run '^$' -bench 'BenchmarkEngine|BenchmarkBaseline|BenchmarkTable|Bench
   -benchtime "$BENCHTIME" -benchmem . \
   | tee /dev/stderr | /tmp/benchjson -o BENCH_engine.json
 
-echo "wrote BENCH_kernels.json and BENCH_engine.json" >&2
+# Model-mode only (deterministic virtual time): one iteration is exact.
+go test -run '^$' -bench 'BenchmarkRecovery' -benchtime 1x -benchmem . \
+  | tee /dev/stderr | /tmp/benchjson -o BENCH_recovery.json
+
+echo "wrote BENCH_kernels.json, BENCH_engine.json and BENCH_recovery.json" >&2
