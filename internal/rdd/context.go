@@ -717,6 +717,20 @@ func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.D
 		if tc.compute <= threshold {
 			continue
 		}
+		// The copy needs a live executor other than the straggler's own;
+		// without one (single-node cluster, or every other node
+		// blacklisted) the task is left to finish where it runs.
+		nodes := c.conf.Cluster.Nodes
+		copyNode := -1
+		for j := 1; j < nodes; j++ {
+			if n := (tc.Node + j) % nodes; !c.nodeDown(n, asOf) {
+				copyNode = n
+				break
+			}
+		}
+		if copyNode < 0 {
+			continue
+		}
 		healthy := tc.compute - tc.slowed + c.model.TaskOverhead()
 		winner := simtime.Min(tc.compute, healthy)
 		c.rec.specLaunched.Add(1)
@@ -729,10 +743,6 @@ func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.D
 		// The copy re-runs the task's compute on another executor until
 		// the winner finishes; its shuffle I/O stays with the original
 		// (the copy's partial fetches are not separately modelled).
-		copyNode := (tc.Node + 1) % c.conf.Cluster.Nodes
-		for j := 1; j < c.conf.Cluster.Nodes && c.nodeDown(copyNode, asOf); j++ {
-			copyNode = (copyNode + 1) % c.conf.Cluster.Nodes
-		}
 		tasks = append(tasks, sim.Task{
 			Node:        copyNode,
 			Compute:     winner,

@@ -188,6 +188,7 @@ type faultState struct {
 	plan       FaultPlan
 	crashFired []bool
 	diskFired  []bool
+	stragFired []bool
 	// downUntil[n] is the virtual time node n's blacklist expires;
 	// strikes[n] counts its crashes (exponential backoff doubles per
 	// strike).
@@ -204,6 +205,7 @@ func newFaultState(p *FaultPlan, nodes int) *faultState {
 		plan:       *p,
 		crashFired: make([]bool, len(p.Crashes)),
 		diskFired:  make([]bool, len(p.DiskLosses)),
+		stragFired: make([]bool, len(p.Stragglers)),
 		downUntil:  make([]simtime.Duration, nodes),
 		strikes:    make([]int, nodes),
 	}
@@ -234,7 +236,10 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		for s := 1; s < fs.strikes[ev.Node] && s < 6; s++ {
 			backoff *= 2
 		}
-		down := simtime.Max(ev.Down, backoff)
+		down := backoff
+		if ev.Down > 0 {
+			down = ev.Down // an explicit duration overrides the backoff
+		}
 		if until := now + down; until > fs.downUntil[ev.Node] {
 			fs.downUntil[ev.Node] = until
 		}
@@ -294,7 +299,11 @@ func (c *Context) placeNode(split int, asOf simtime.Duration) int {
 	return home // every node down: schedule home and let it run
 }
 
-// stragglerFactor returns the injected slowdown for a task, or 1.
+// stragglerFactor returns the injected slowdown for a task, or 1, and
+// marks the matched events fired. Firing at most once per context matters
+// because recovery stages reuse their original stage ID: a recomputed
+// lost map partition must not be re-dilated (and re-counted) on every
+// resubmission.
 func (c *Context) stragglerFactor(stageID, split int) float64 {
 	fs := c.faults
 	if fs == nil {
@@ -303,8 +312,13 @@ func (c *Context) stragglerFactor(stageID, split int) float64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	factor := 1.0
-	for _, ev := range fs.plan.Stragglers {
-		if ev.Stage == stageID && ev.Partition == split && ev.Factor > factor {
+	for i := range fs.plan.Stragglers {
+		ev := &fs.plan.Stragglers[i]
+		if ev.Stage != stageID || ev.Partition != split || fs.stragFired[i] {
+			continue
+		}
+		fs.stragFired[i] = true
+		if ev.Factor > factor {
 			factor = ev.Factor
 		}
 	}

@@ -95,6 +95,32 @@ func TestFetchFailureResubmitsMapStage(t *testing.T) {
 	}
 }
 
+// TestConcurrentFetchDuringRecovery: reduce tasks fetching while another
+// task's FetchFailed recovery is mid-recompute must never observe a
+// bucket with a lost partition's contribution silently missing — the
+// stale refs stay visible (and keep raising FetchFailed) until the
+// recompute's merge replaces them atomically. Many reduce tasks race one
+// recovery here; repetitions make the drop-to-merge window, if it ever
+// reopens, a reliable failure instead of a rare flake.
+func TestConcurrentFetchDuringRecovery(t *testing.T) {
+	for rep := 0; rep < 25; rep++ {
+		ctx := NewContext(Conf{
+			Cluster:         cluster.LocalN(2, 2),
+			RealParallelism: 8,
+			FaultPlan:       &FaultPlan{Crashes: []ExecutorCrash{{Stage: 1, Node: 0}}},
+		})
+		got := collectPairs(t, shuffledDoubles(ctx, 16))
+		if len(got) != 20 {
+			t.Fatalf("rep %d: result lost records: %d of 20: %v", rep, len(got), got)
+		}
+		for k, v := range got {
+			if v != 2*k {
+				t.Fatalf("rep %d: got[%d] = %d, want %d", rep, k, v, 2*k)
+			}
+		}
+	}
+}
+
 // TestDiskLossRecoveredWithoutBlacklist: a staging-disk loss invalidates
 // the node's map outputs like a crash, but the executor stays schedulable
 // (no blacklist placements).

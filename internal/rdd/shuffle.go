@@ -195,6 +195,29 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if splits != nil {
+		// A recovery merge must replace the recomputed partitions' stale
+		// contributions in the same critical section that installs the
+		// fresh ones. Dropping them any earlier opens a window where a
+		// concurrent readShuffle sees a lost partition's ref simply
+		// missing — silently incomplete data instead of a FetchFailed
+		// (the lost flags are keyed off refs still present in byReduce).
+		recomputed := make(map[int]bool, len(splits))
+		for _, s := range splits {
+			recomputed[s] = true
+		}
+		for b, refs := range st.byReduce {
+			keep := refs[:0]
+			for _, ref := range refs {
+				if recomputed[ref.mapPart] {
+					putRecSlice(ref.recs)
+				} else {
+					keep = append(keep, ref)
+				}
+			}
+			st.byReduce[b] = keep
+		}
+	}
 	for idx := 0; idx < n; idx++ {
 		split := idx
 		if splits != nil {
@@ -255,20 +278,11 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 		lost = append(lost, p)
 	}
 	sortInts(lost)
-	// Drop the invalidated contributions: the staged data died with the
-	// executor; recomputation re-stages it.
-	for b, refs := range st.byReduce {
-		keep := refs[:0]
-		for _, ref := range refs {
-			if st.lost[ref.mapPart] {
-				putRecSlice(ref.recs)
-			} else {
-				keep = append(keep, ref)
-			}
-		}
-		st.byReduce[b] = keep
-	}
 	st.mu.Unlock()
+	// The invalidated contributions stay visible in byReduce until the
+	// recompute's merge swaps them out atomically (see execMapTasks):
+	// concurrent reads in the interim still find the lost refs, raise
+	// FetchFailed and serialize behind recMu on the epoch guard above.
 
 	c.rec.stageResubmits.Add(1)
 	c.recm.stageResubmits.Inc()
