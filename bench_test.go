@@ -23,6 +23,7 @@ import (
 	"dpspark/internal/matrix"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
+	"dpspark/internal/store"
 )
 
 // benchN is the model-mode problem size for benchmarks: large enough to
@@ -409,4 +410,147 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Durable block store benchmarks (BENCH_store.json) ---
+
+// BenchmarkStoreSpill prices the checksummed spill path per block: every
+// Put lands over budget and is immediately evicted to a CRC32C-framed
+// file, then read back and verified from the disk tier. Block size is a
+// b=128 tile payload.
+func BenchmarkStoreSpill(b *testing.B) {
+	blob := make([]byte, 128*128*8)
+	rng := rand.New(rand.NewSource(31))
+	for i := range blob {
+		blob[i] = byte(rng.Intn(256))
+	}
+	st, err := store.Open(b.TempDir(), store.Options{MemoryBudget: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := "bench/" + itoa(i%64)
+		if err := st.Put(key, blob); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCheckpoint prices one driver checkpoint round trip: an
+// atomically-written, per-section-checksummed file the size of an r=8,
+// b=128 grid (8 MiB of tile payload), written and re-verified.
+func BenchmarkStoreCheckpoint(b *testing.B) {
+	blocks := make([]byte, 8*8*128*128*8)
+	rng := rand.New(rand.NewSource(32))
+	for i := range blocks {
+		blocks[i] = byte(rng.Intn(256))
+	}
+	meta := []byte(`{"iteration":4,"n":1024,"b":128,"r":8}`)
+	dir := b.TempDir()
+	b.SetBytes(int64(len(blocks)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteCheckpoint(dir, i%4, meta, blocks); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := store.ReadCheckpoint(dir, i%4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurableOverhead measures what durability costs a real run: a
+// real-mode FW n=512 b=128 IM run with the store off, on (unbounded
+// memory tier) and under a tight 256 KiB budget that forces every staged
+// bucket through the disk tier. Reported: spilled blocks and real spill
+// wall milliseconds per run.
+func BenchmarkDurableOverhead(b *testing.B) {
+	run := func(b *testing.B, durable bool, budget int64) {
+		rng := rand.New(rand.NewSource(33))
+		in := matrix.NewDense(512)
+		in.FillRandom(rng, 1, 9)
+		for i := 0; i < 512; i++ {
+			in.Set(i, i, 0)
+		}
+		for i := 0; i < b.N; i++ {
+			conf := rdd.Conf{Cluster: cluster.LocalN(4, 2)}
+			var dir string
+			if durable {
+				dir = b.TempDir()
+				conf.DurableDir = dir
+				conf.MemoryBudget = budget
+				conf.SpillCodec = core.TileCodec{}
+			}
+			ctx := rdd.NewContext(conf)
+			rule := semiring.NewFloydWarshall()
+			bl := matrix.Block(in, 128, rule.Pad(), rule.PadDiag())
+			_, stats, err := core.Run(ctx, bl, core.Config{
+				Rule: rule, BlockSize: 128, Driver: core.IM, DurableDir: dir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(stats.SpilledBlocks), "spilled")
+			b.ReportMetric(stats.SpillWall.Seconds()*1e3, "spill_wall_ms")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, 0) })
+	b.Run("on", func(b *testing.B) { run(b, true, 0) })
+	b.Run("tight256KiB", func(b *testing.B) { run(b, true, 256<<10) })
+}
+
+// BenchmarkDurableResume measures checkpoint–restart: one durable FW
+// n=512 b=128 run leaves its boundary checkpoints on disk; each
+// iteration then restarts from the mid-run checkpoint (grid decode +
+// engine-state restore + the remaining two iterations) and must land on
+// the interrupted run's bits.
+func BenchmarkDurableResume(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	in := matrix.NewDense(512)
+	in.FillRandom(rng, 1, 9)
+	for i := 0; i < 512; i++ {
+		in.Set(i, i, 0)
+	}
+	dir := b.TempDir()
+	rule := semiring.NewFloydWarshall()
+	conf := rdd.Conf{Cluster: cluster.LocalN(4, 2), DurableDir: dir, SpillCodec: core.TileCodec{}}
+	ctx := rdd.NewContext(conf)
+	bl := matrix.Block(in, 128, rule.Pad(), rule.PadDiag())
+	full, _, err := core.Run(ctx, bl, core.Config{
+		Rule: rule, BlockSize: 128, Driver: core.IM, DurableDir: dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := full.ToDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meta, tbl, err := core.LoadCheckpointAt(dir, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rconf := conf
+		rconf.Restore = &meta.Engine
+		rctx := rdd.NewContext(rconf)
+		out, _, err := core.Resume(rctx, meta, tbl, core.Config{
+			Rule: rule, BlockSize: meta.B, Driver: core.IM,
+			Partitions: meta.Partitions, CheckpointEvery: meta.CheckpointEvery,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			got := out.ToDense()
+			for j := range got.Data {
+				if got.Data[j] != want.Data[j] {
+					b.Fatal("resumed bits differ from the uninterrupted run")
+				}
+			}
+		}
+	}
 }

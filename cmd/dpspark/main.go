@@ -16,11 +16,16 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dpspark/internal/autotune"
 	"dpspark/internal/cluster"
@@ -46,8 +51,15 @@ func main() {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of all runs to this file")
 	metricsOut := fs.String("metrics", "", "write a Prometheus-style metrics dump of all runs to this file")
 	verbose := fs.Bool("v", false, "print per-cell cost breakdowns")
-	seed := fs.Int64("seed", 20260805, "fault-plan seed (chaos command)")
+	seed := fs.Int64("seed", 20260805, "fault-plan seed (chaos command) / input seed (durable command)")
 	crashes := fs.Int("crashes", 2, "executor crashes to schedule (chaos command)")
+	dir := fs.String("dir", "", "durable block-store + checkpoint directory (durable/resume commands)")
+	bench := fs.String("bench", "fw", "benchmark: fw or ge (durable command)")
+	driverName := fs.String("driver", "im", "driver: im or cb (durable command)")
+	budget := fs.Int64("budget", 0, "store memory budget in bytes, 0 = unbounded (durable/resume commands)")
+	stop := fs.Int("stop", 0, "kill the driver after this many iterations, 0 = run to completion (durable command)")
+	size := fs.Int("size", 512, "problem size of the durable demo run (durable command)")
+	block := fs.Int("block", 128, "tile size of the durable demo run (durable command)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -237,6 +249,83 @@ func main() {
 				htmlReport.AddTable(t)
 			}
 			return t.Render(os.Stdout)
+		case "durable":
+			// An end-to-end durable run on the local cluster model: the
+			// engine stages shuffle buckets and broadcast payloads through
+			// the checksummed block store (spilling under -budget pressure)
+			// and the driver persists a restartable checkpoint at every
+			// boundary. -stop K kills the driver loop after K iterations;
+			// `dpspark resume -dir` then completes the run bit-identically.
+			if *dir == "" {
+				return fmt.Errorf("durable: -dir is required")
+			}
+			rule, drv, err := durableSetup(*bench, *driverName)
+			if err != nil {
+				return err
+			}
+			ctx := rdd.NewContext(rdd.Conf{
+				Cluster:      cluster.LocalN(4, 2),
+				DurableDir:   *dir,
+				MemoryBudget: *budget,
+				SpillCodec:   core.TileCodec{},
+				Observer:     observer,
+			})
+			in := durableInput(rule, *size, *seed)
+			bl := matrix.Block(in, *block, rule.Pad(), rule.PadDiag())
+			out, st, err := core.Run(ctx, bl, core.Config{
+				Rule: rule, BlockSize: *block, Driver: drv,
+				DurableDir: *dir, StopAfter: *stop,
+			})
+			if err != nil {
+				return err
+			}
+			printDurableStats(ctx, st)
+			if *stop > 0 && *stop < bl.R {
+				fmt.Printf("driver killed after %d of %d iterations — complete the run with:\n  dpspark resume -dir %s\n",
+					*stop, bl.R, *dir)
+				return nil
+			}
+			fmt.Printf("result checksum: %016x (n=%d b=%d %s %v)\n",
+				denseChecksum(out.ToDense()), *size, *block, *bench, drv)
+			return nil
+		case "resume":
+			// Restart from the newest intact checkpoint under -dir: the
+			// grid, iteration cursor and engine scheduler state are
+			// restored, and the remaining iterations produce bits identical
+			// to the uninterrupted run (compare the checksums).
+			if *dir == "" {
+				return fmt.Errorf("resume: -dir is required")
+			}
+			meta, bl, err := core.LoadCheckpoint(*dir)
+			if err != nil {
+				return err
+			}
+			rule, drv, err := durableSetup(ruleFlagName(meta.Rule), meta.Driver)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resuming %s %s from checkpoint %d/%d (n=%d b=%d)\n",
+				meta.Rule, meta.Driver, meta.Iteration, meta.R, meta.N, meta.B)
+			ctx := rdd.NewContext(rdd.Conf{
+				Cluster:      cluster.LocalN(4, 2),
+				DurableDir:   *dir,
+				MemoryBudget: *budget,
+				SpillCodec:   core.TileCodec{},
+				Restore:      &meta.Engine,
+				Observer:     observer,
+			})
+			out, st, err := core.Resume(ctx, meta, bl, core.Config{
+				Rule: rule, BlockSize: meta.B, Driver: drv,
+				Partitions: meta.Partitions, CheckpointEvery: meta.CheckpointEvery,
+				DurableDir: *dir,
+			})
+			if err != nil {
+				return err
+			}
+			printDurableStats(ctx, st)
+			fmt.Printf("result checksum: %016x (n=%d b=%d %s %v)\n",
+				denseChecksum(out.ToDense()), meta.N, meta.B, ruleFlagName(meta.Rule), drv)
+			return nil
 		case "sweep":
 			cl := cluster.Skylake16()
 			outs, best, err := autotune.Search(cl, semiring.NewFloydWarshall(), *n, autotune.DefaultSpace(cl))
@@ -299,6 +388,79 @@ func main() {
 
 // htmlReport, when non-nil, collects everything rendered for -html.
 var htmlReport *report.HTMLReport
+
+// durableSetup resolves the durable/resume commands' -bench and -driver
+// selectors (meta.Rule / meta.Driver names are accepted too).
+func durableSetup(bench, driver string) (semiring.Rule, core.DriverKind, error) {
+	var rule semiring.Rule
+	switch strings.ToLower(bench) {
+	case "fw", "gep-min-plus":
+		rule = semiring.NewFloydWarshall()
+	case "ge", "gaussian-elim":
+		rule = semiring.NewGaussian()
+	default:
+		return nil, core.IM, fmt.Errorf("unknown -bench %q (want fw or ge)", bench)
+	}
+	switch strings.ToLower(driver) {
+	case "im":
+		return rule, core.IM, nil
+	case "cb":
+		return rule, core.CB, nil
+	default:
+		return nil, core.IM, fmt.Errorf("unknown -driver %q (want im or cb)", driver)
+	}
+}
+
+// ruleFlagName maps a checkpoint's rule name back to the -bench flag.
+func ruleFlagName(ruleName string) string {
+	if ruleName == semiring.NewGaussian().Name() {
+		return "ge"
+	}
+	return "fw"
+}
+
+// durableInput deterministically generates the durable demo's input from
+// the seed — both the killed and the uninterrupted invocation see the
+// same matrix, so their checksums are comparable.
+func durableInput(rule semiring.Rule, n int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := matrix.NewDense(n)
+	if _, ok := rule.(semiring.GaussianRule); ok {
+		d.FillDiagonallyDominant(rng)
+		return d
+	}
+	d.Fill(func(i, j int) float64 {
+		switch {
+		case i == j:
+			return 0
+		case rng.Float64() < 0.3:
+			return math.Inf(1)
+		default:
+			return 1 + math.Floor(rng.Float64()*9)
+		}
+	})
+	return d
+}
+
+// denseChecksum fingerprints a result matrix bit-exactly (FNV-1a over
+// the raw float bits — NaN/Inf/signed-zero safe).
+func denseChecksum(d *matrix.Dense) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range d.Data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// printDurableStats reports the run's modelled time and store activity.
+func printDurableStats(ctx *rdd.Context, st *core.Stats) {
+	ss := ctx.StoreStats()
+	fmt.Printf("modelled %.0fs over %d iterations; store: %d mem / %d disk blocks, %d spilled (%d evicted), %d corrupt detected, spill wall %v\n",
+		st.Time.Seconds(), st.Iterations, ss.MemBlocks, ss.DiskBlocks, ss.Spilled, ss.Evicted, ss.CorruptDetected,
+		st.SpillWall.Round(time.Millisecond))
+}
 
 // exportObservability writes the collected trace and metrics files.
 func exportObservability(o *obs.Observer, tracePath, metricsPath string) error {
@@ -384,11 +546,17 @@ commands:
   explain     per-iteration plan: kernel counts, copies, moved bytes
   apsp        one observable FW-APSP run with its phase breakdown
   chaos       FW-APSP under a seeded fault plan: recovery overhead per driver
+  durable     real run through the checksummed block store with driver
+              checkpoints; -stop K kills the driver after K iterations
+  resume      restart from the newest intact checkpoint under -dir,
+              bit-identical to the uninterrupted run
   sweep       autotune search over the full tuning space
   all         tables, figures and ablations
 
 flags: -n <size> (default 32768), -csv <dir>, -v,
        -seed <n> / -crashes <n> (chaos fault plan),
+       -dir <dir> / -bench fw|ge / -driver im|cb / -budget <bytes> /
+       -stop <k> / -size <n> / -block <b> (durable + resume),
        -trace <file> (Chrome trace-event JSON, load in Perfetto),
        -metrics <file> (Prometheus text dump)`))
 }

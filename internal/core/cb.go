@@ -22,7 +22,7 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 	kr := run.newKernelRunner()
 	rule := run.cfg.Rule
 
-	for k := 0; k < run.r; k++ {
+	for k := run.startK; k < run.r; k++ {
 		k := k
 		f := newFilters(rule, k, run.r)
 		pivotKey := matrix.Coord{I: k, J: k}
@@ -82,15 +82,20 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		prev := dp.Filter(func(b Block) bool { return !f.Touched(b.Key) })
 		dp = rdd.PartitionBy(prev.Union(aBlock, bcBlocks, dBlocks), part)
 
-		// Truncate lineage per generation (see the IM driver).
+		// Truncate lineage per generation (see the IM driver); durable
+		// checkpoints follow the CheckpointEvery cadence.
 		ctx.SetPhase("checkpoint")
-		if err := dp.Checkpoint(); err != nil {
+		durable := (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1
+		if err := run.checkpoint(dp, k, durable); err != nil {
 			return dp, err
 		}
 		ctx.AdvanceDriver(ctx.Model().DriverIterOverhead(), simtime.Overhead)
 		ctx.EmitDriverSpan(fmt.Sprintf("CB iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
+		}
+		if run.cfg.StopAfter > 0 && k+1 >= run.cfg.StopAfter {
+			break
 		}
 	}
 	ctx.SetPhase("")

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"dpspark/internal/costmodel"
@@ -92,9 +93,25 @@ type Config struct {
 	// DP table is checkpointed every K iterations (and always after the
 	// last), bounding recompute depth under failure to K iterations'
 	// shuffles. Default 1 — per-iteration, the Spark FW implementations'
-	// behaviour. The CB driver ignores it: its collect/broadcast staging
-	// already persists each iteration's panels outside the lineage.
+	// behaviour. The CB driver ignores it for truncation (its
+	// collect/broadcast staging already persists each iteration's panels
+	// outside the lineage) but honours it as the durable-checkpoint
+	// cadence when DurableDir is set.
 	CheckpointEvery int
+	// DurableDir, when non-empty, makes every CheckpointEvery boundary
+	// durable: the driver persists the full tile grid, the iteration
+	// cursor and the engine's restartable scheduler state as an
+	// atomically-written, per-section-checksummed checkpoint file under
+	// this directory (see internal/store). Resume restarts from the
+	// newest intact checkpoint, bit-identical to the uninterrupted run.
+	// Default "": checkpoints only truncate lineage in memory.
+	DurableDir string
+	// StopAfter, when >0, stops the driver loop cleanly after that many
+	// iterations and returns the partial table — the kill switch of
+	// checkpoint–restart demos and tests (`dpspark durable -stop`): a
+	// later Resume picks up from the last durable boundary. Default 0:
+	// run to completion.
+	StopAfter int
 }
 
 // normalize fills Config defaults and validates.
@@ -136,6 +153,14 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 		return fmt.Errorf("core: CheckpointEvery %d needs %d live shuffles but Conf.KeepShuffles is %d; raise KeepShuffles to ≥ %d",
 			cfg.CheckpointEvery, 3*cfg.CheckpointEvery, ctx.KeepShuffles(), 3*cfg.CheckpointEvery)
 	}
+	if cfg.StopAfter < 0 {
+		return fmt.Errorf("core: StopAfter must be ≥ 0 (0 runs to completion), got %d", cfg.StopAfter)
+	}
+	if cfg.DurableDir != "" {
+		if err := os.MkdirAll(cfg.DurableDir, 0o755); err != nil {
+			return fmt.Errorf("core: DurableDir %s not creatable: %w", cfg.DurableDir, err)
+		}
+	}
 	return nil
 }
 
@@ -157,11 +182,26 @@ func Run(ctx *rdd.Context, bl *matrix.Blocked, cfg Config) (*matrix.Blocked, *St
 	if err := cfg.normalize(ctx); err != nil {
 		return nil, nil, err
 	}
+	return execute(ctx, bl, cfg, 0, true)
+}
+
+// execute runs the (normalized) driver loop from iteration startK.
+// disown resets every input tile's ownership tag so the first kernel to
+// touch one takes a defensive copy — Run's contract that the caller's
+// matrix is never mutated; Resume instead keeps the checkpointed tags,
+// whose replay semantics the resumed run must continue.
+func execute(ctx *rdd.Context, bl *matrix.Blocked, cfg Config, startK int, disown bool) (*matrix.Blocked, *Stats, error) {
 	mark := MarkRun(ctx)
 	jobStart := ctx.Clock()
 
-	dp := rdd.ParallelizePairs(ctx, BlocksFromMatrix(bl), cfg.Partitioner)
-	run := &runner{ctx: ctx, cfg: cfg, r: bl.R}
+	var blocks []Block
+	if disown {
+		blocks = BlocksFromMatrix(bl)
+	} else {
+		blocks = blocksKeepingGen(bl)
+	}
+	dp := rdd.ParallelizePairs(ctx, blocks, cfg.Partitioner)
+	run := &runner{ctx: ctx, cfg: cfg, r: bl.R, n: bl.N, startK: startK}
 
 	var err error
 	switch cfg.Driver {
@@ -240,6 +280,11 @@ type runner struct {
 	ctx *rdd.Context
 	cfg Config
 	r   int
+	// n is the unpadded problem size, recorded in durable checkpoints.
+	n int
+	// startK is the first iteration the driver loop runs: 0 for Run,
+	// the checkpoint's iteration cursor for Resume.
+	startK int
 }
 
 // kernelConfig builds the cost-model description of the configured kernel.

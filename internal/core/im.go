@@ -21,7 +21,7 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 	kr := run.newKernelRunner()
 	rule := run.cfg.Rule
 
-	for k := 0; k < run.r; k++ {
+	for k := run.startK; k < run.r; k++ {
 		k := k
 		f := newFilters(rule, k, run.r)
 		rest := rule.Restricted(k, run.r)
@@ -142,9 +142,11 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		// generations' shuffle files (the Spark FW-APSP implementations
 		// checkpoint per generation for the same reason). A longer cadence
 		// trades checkpoint stages against deeper recompute under failure.
+		// With DurableDir set the same materialization is also persisted
+		// for checkpoint–restart.
 		if (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1 {
 			ctx.SetPhase("checkpoint")
-			if err := dp.Checkpoint(); err != nil {
+			if err := run.checkpoint(dp, k, true); err != nil {
 				return dp, err
 			}
 		}
@@ -152,6 +154,9 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		ctx.EmitDriverSpan(fmt.Sprintf("IM iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
+		}
+		if run.cfg.StopAfter > 0 && k+1 >= run.cfg.StopAfter {
+			break
 		}
 	}
 	ctx.SetPhase("")

@@ -5,6 +5,7 @@ import (
 
 	"dpspark/internal/rdd"
 	"dpspark/internal/simtime"
+	"dpspark/internal/store"
 )
 
 // Stats reports a run's virtual cost and outcome.
@@ -39,6 +40,18 @@ type Stats struct {
 	// MaxTaskSkew is the worst per-stage straggler ratio MaxTask/MeanTask
 	// observed during the run (1 = perfectly balanced, 0 = no stages).
 	MaxTaskSkew float64
+
+	// SpilledBlocks, EvictedBlocks and CorruptBlocks count the durable
+	// block store's activity during the run: blocks written to the
+	// checksummed disk tier (forced spills + evictions), blocks evicted
+	// under Conf.MemoryBudget pressure, and blocks whose verification
+	// failed on read (repaired through the recompute path). All zero
+	// without Conf.DurableDir.
+	SpilledBlocks, EvictedBlocks, CorruptBlocks int64
+	// SpillWall is the real time spent writing spill files — wall, not
+	// modelled: durable staging is host I/O the cluster model does not
+	// price (the modelled charges are identical with and without it).
+	SpillWall time.Duration
 }
 
 // RunMark snapshots an engine context before a run so StatsSince can
@@ -49,6 +62,7 @@ type RunMark struct {
 	clock  simtime.Duration
 	bd     rdd.Breakdown
 	events int
+	st     store.Stats
 }
 
 // MarkRun captures the context state at the start of a run.
@@ -58,6 +72,7 @@ func MarkRun(ctx *rdd.Context) RunMark {
 		clock:  ctx.Clock(),
 		bd:     ctx.Breakdown(),
 		events: len(ctx.Events()),
+		st:     ctx.StoreStats(),
 	}
 }
 
@@ -66,6 +81,7 @@ func MarkRun(ctx *rdd.Context) RunMark {
 func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 	elapsed := ctx.Clock() - m.clock
 	bd := ctx.Breakdown().Sub(m.bd)
+	st := ctx.StoreStats()
 	skew := 0.0
 	if events := ctx.Events(); m.events < len(events) {
 		for _, ev := range events[m.events:] {
@@ -89,5 +105,9 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		ShuffleBytes:   bd.ShuffleWriteBytes,
 		BroadcastBytes: bd.BroadcastBytes,
 		MaxTaskSkew:    skew,
+		SpilledBlocks:  st.Spilled - m.st.Spilled,
+		EvictedBlocks:  st.Evicted - m.st.Evicted,
+		CorruptBlocks:  st.CorruptDetected - m.st.CorruptDetected,
+		SpillWall:      st.SpillWall - m.st.SpillWall,
 	}
 }

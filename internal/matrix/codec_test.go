@@ -1,0 +1,171 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// codecTiles builds a spread of tricky tiles: NaN payloads, infinities,
+// signed zeros, subnormals and plain values across dimensions and gens.
+func codecTiles() []*Tile {
+	rng := rand.New(rand.NewSource(7))
+	var out []*Tile
+	for _, b := range []int{1, 2, 7, 16} {
+		t := NewTile(b)
+		for i := range t.Data {
+			switch i % 7 {
+			case 0:
+				t.Data[i] = math.NaN()
+			case 1:
+				t.Data[i] = math.Inf(1)
+			case 2:
+				t.Data[i] = math.Inf(-1)
+			case 3:
+				t.Data[i] = math.Copysign(0, -1)
+			case 4:
+				t.Data[i] = 5e-324 // smallest subnormal
+			default:
+				t.Data[i] = rng.NormFloat64()
+			}
+		}
+		t.SetGen(uint32(b))
+		out = append(out, t)
+	}
+	s := NewSymbolicTile(8)
+	s.SetGen(3)
+	out = append(out, s, NewSymbolicTile(1), NewTile(4))
+	return out
+}
+
+// TestTileCodecRoundTrip: decode(encode(t)) must be bit-identical,
+// preserve the gen tag, and consume exactly the encoded bytes.
+func TestTileCodecRoundTrip(t *testing.T) {
+	for _, tile := range codecTiles() {
+		enc := EncodeTile(tile)
+		if len(enc) != tile.EncodedTileLen() {
+			t.Fatalf("b=%d: encoded %d bytes, EncodedTileLen says %d", tile.B, len(enc), tile.EncodedTileLen())
+		}
+		got, rest, err := DecodeTile(enc)
+		if err != nil {
+			t.Fatalf("b=%d: decode: %v", tile.B, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("b=%d: %d trailing bytes", tile.B, len(rest))
+		}
+		assertTilesBitIdentical(t, tile, got)
+	}
+}
+
+// TestTileCodecStream: several tiles appended into one block decode in
+// order, each handing the remainder to the next.
+func TestTileCodecStream(t *testing.T) {
+	tiles := codecTiles()
+	var blob []byte
+	for _, tile := range tiles {
+		blob = AppendTile(blob, tile)
+	}
+	rest := blob
+	for i, want := range tiles {
+		var got *Tile
+		var err error
+		got, rest, err = DecodeTile(rest)
+		if err != nil {
+			t.Fatalf("tile %d: %v", i, err)
+		}
+		assertTilesBitIdentical(t, want, got)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after stream", len(rest))
+	}
+}
+
+// TestTileCodecCorruption: truncations at every length and single-byte
+// flips in the header region must error, never panic, never yield a
+// wrong-shaped tile.
+func TestTileCodecCorruption(t *testing.T) {
+	src := NewTile(5)
+	for i := range src.Data {
+		src.Data[i] = float64(i) * 1.5
+	}
+	src.SetGen(9)
+	enc := EncodeTile(src)
+
+	for cut := 0; cut < len(enc); cut++ {
+		if tile, _, err := DecodeTile(enc[:cut]); err == nil {
+			if tile.B != src.B || tile.Symbolic() != src.Symbolic() {
+				t.Fatalf("truncation at %d returned malformed tile %+v", cut, tile)
+			}
+			// A cut can only succeed if it kept the full encoding.
+			if cut < len(enc) {
+				t.Fatalf("truncation at %d of %d decoded successfully", cut, len(enc))
+			}
+		}
+	}
+
+	// Flips in the framing bytes (length, magic, dim, kind) must be caught
+	// by the codec itself; payload flips are the store checksum's job.
+	for _, off := range []int{0, 1, 4, 5, 8, 16} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0xff
+		tile, _, err := DecodeTile(bad)
+		if err == nil && (tile.B != src.B || tile.Symbolic()) {
+			t.Fatalf("flip at %d yielded malformed tile %+v", off, tile)
+		}
+	}
+
+	if _, _, err := DecodeTile(nil); err == nil {
+		t.Fatal("nil input must error")
+	}
+}
+
+// FuzzTileRoundTrip fuzzes the decoder: arbitrary bytes must never panic,
+// and any input that decodes must re-encode to an equivalent tile
+// (decode∘encode∘decode is the identity on the decoded value).
+func FuzzTileRoundTrip(f *testing.F) {
+	for _, tile := range codecTiles() {
+		f.Add(EncodeTile(tile))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, tileHeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tile, rest, err := DecodeTile(data)
+		if err != nil {
+			return
+		}
+		if tile == nil || tile.B <= 0 {
+			t.Fatalf("decode returned malformed tile %+v", tile)
+		}
+		if !tile.Symbolic() && len(tile.Data) != tile.B*tile.B {
+			t.Fatalf("short tile: b=%d but %d elements", tile.B, len(tile.Data))
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		again, rest2, err := DecodeTile(EncodeTile(tile))
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encode left %d trailing bytes", len(rest2))
+		}
+		assertTilesBitIdentical(t, tile, again)
+	})
+}
+
+// assertTilesBitIdentical compares dimension, symbolic-ness, gen and every
+// element's float64 bit pattern.
+func assertTilesBitIdentical(t *testing.T, want, got *Tile) {
+	t.Helper()
+	if got.B != want.B || got.Symbolic() != want.Symbolic() || got.Gen() != want.Gen() {
+		t.Fatalf("shape mismatch: want b=%d sym=%v gen=%d, got b=%d sym=%v gen=%d",
+			want.B, want.Symbolic(), want.Gen(), got.B, got.Symbolic(), got.Gen())
+	}
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("element %d differs: %x vs %x", i,
+				math.Float64bits(want.Data[i]), math.Float64bits(got.Data[i]))
+		}
+	}
+}

@@ -2,6 +2,7 @@ package rdd
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"dpspark/internal/obs"
 	"dpspark/internal/sim"
 	"dpspark/internal/simtime"
+	"dpspark/internal/store"
 )
 
 // Conf configures an engine context — the spark-submit settings of the
@@ -64,6 +66,26 @@ type Conf struct {
 	// private observer; pass a shared one to aggregate several contexts
 	// (e.g. a sweep) into one trace/metrics export.
 	Observer *obs.Observer
+	// DurableDir roots the durable block store: non-combining shuffle
+	// buckets and broadcast payloads are staged as checksummed blocks
+	// under it, and MemoryBudget-pressure eviction spills them to disk.
+	// Empty (the default) disables the store entirely. The directory must
+	// be creatable; each context expects its own.
+	DurableDir string
+	// MemoryBudget caps the bytes the durable block store holds in memory
+	// before evicting least-recently-used blocks to disk. Default 0 means
+	// unbounded (blocks only reach disk via fault injection); negative
+	// values are rejected, and a positive budget requires DurableDir.
+	MemoryBudget int64
+	// SpillCodec serializes records for the durable store (core supplies
+	// a tile codec). Without one, shuffle/broadcast staging is skipped
+	// even when DurableDir is set.
+	SpillCodec Codec
+	// Restore seeds a fresh context with a checkpointed EngineState so a
+	// resumed run continues the stage/shuffle numbering and skips fault
+	// events that fired before the checkpoint. Validated against the
+	// FaultPlan and cluster size.
+	Restore *EngineState
 }
 
 // normalize is the single place Conf is validated and defaulted — every
@@ -90,6 +112,22 @@ func (conf *Conf) normalize() error {
 	}
 	if conf.FaultPlan != nil {
 		if err := conf.FaultPlan.validate(conf.Cluster.Nodes); err != nil {
+			return err
+		}
+	}
+	if conf.MemoryBudget < 0 {
+		return fmt.Errorf("rdd: Conf.MemoryBudget must be ≥ 0 (0 means unbounded), got %d", conf.MemoryBudget)
+	}
+	if conf.MemoryBudget > 0 && conf.DurableDir == "" {
+		return fmt.Errorf("rdd: Conf.MemoryBudget %d needs Conf.DurableDir — eviction has nowhere to spill", conf.MemoryBudget)
+	}
+	if conf.DurableDir != "" {
+		if err := os.MkdirAll(conf.DurableDir, 0o755); err != nil {
+			return fmt.Errorf("rdd: Conf.DurableDir %q is not creatable: %w", conf.DurableDir, err)
+		}
+	}
+	if conf.Restore != nil {
+		if err := validateRestore(conf.Restore, conf.FaultPlan, conf.Cluster.Nodes); err != nil {
 			return err
 		}
 	}
@@ -131,6 +169,10 @@ type Context struct {
 	obsv  *obs.Observer
 	pid   int
 
+	// store is the durable block store (nil without Conf.DurableDir); it
+	// stages shuffle buckets and broadcast payloads as checksummed blocks.
+	store *store.Store
+
 	// faults is the fired-event/blacklist state for Conf.FaultPlan (nil
 	// without a plan); rec are the recovery counters, recm their
 	// pre-resolved registry mirrors.
@@ -140,18 +182,19 @@ type Context struct {
 
 	laneNames sync.Once
 
-	mu          sync.Mutex
-	nextDataset int
-	nextShuffle int
-	nextStage   int
-	shuffles    map[int]*shuffleState
-	shuffleLog  []int
-	memUsed     []int64
-	memErr      error
-	taskErr     error
-	events      []StageEvent
-	phase       string
-	bd          Breakdown
+	mu            sync.Mutex
+	nextDataset   int
+	nextShuffle   int
+	nextStage     int
+	nextBroadcast int
+	shuffles      map[int]*shuffleState
+	shuffleLog    []int
+	memUsed       []int64
+	memErr        error
+	taskErr       error
+	events        []StageEvent
+	phase         string
+	bd            Breakdown
 
 	// stageMetrics caches resolved stage-metric handles per (stage kind,
 	// phase): the registry lookup encodes and hashes a label map per
@@ -292,6 +335,19 @@ func NewContext(conf Conf) *Context {
 	}
 	if conf.FaultPlan != nil {
 		c.faults = newFaultState(conf.FaultPlan, conf.Cluster.Nodes)
+	}
+	if conf.DurableDir != "" {
+		st, err := store.Open(conf.DurableDir, store.Options{
+			MemoryBudget: conf.MemoryBudget,
+			Registry:     conf.Observer.Metrics(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.store = st
+	}
+	if conf.Restore != nil {
+		c.restoreEngineState(conf.Restore)
 	}
 	c.recm = newRecoveryMetrics(conf.Observer.Metrics())
 	c.pid = c.obsv.RegisterProcess(fmt.Sprintf("dpspark %s×%d", conf.Cluster, conf.ExecutorCores))

@@ -59,6 +59,25 @@ type Straggler struct {
 	Factor float64
 }
 
+// Corruption schedules the deliberate damage of one durably staged
+// shuffle block at the start of one stage: among the newest materialized
+// shuffle's staged blocks (sorted keys — a deterministic set, since
+// whether a bucket is staged depends only on the data, never on memory
+// pressure), index Block modulo the count selects the victim, which is
+// forced to disk and damaged — truncated mid-payload when Torn, one
+// payload bit flipped otherwise. The next fetch of the block fails its
+// CRC32C and flows into the FetchFailed → partial-recompute path,
+// exactly like an executor loss of that map partition. No-op without a
+// durable store (Conf.DurableDir) or with nothing staged yet.
+type Corruption struct {
+	// Stage is the global stage ID at whose start the damage happens.
+	Stage int
+	// Block indexes the victim among the staged blocks (mod the count).
+	Block int
+	// Torn truncates the block file instead of flipping a bit.
+	Torn bool
+}
+
 // FaultPlan is a deterministic schedule of injected cluster failures,
 // attached via Conf.FaultPlan. Each event fires at most once per context,
 // when the named stage starts. Stage IDs are the engine's global stage
@@ -74,11 +93,13 @@ type FaultPlan struct {
 	DiskLosses []DiskLoss
 	// Stragglers are the scheduled slow tasks.
 	Stragglers []Straggler
+	// Corruptions are the scheduled durable-block damages.
+	Corruptions []Corruption
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p *FaultPlan) Empty() bool {
-	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers) == 0
+	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers)+len(p.Corruptions) == 0
 }
 
 // validate checks the plan against a cluster size.
@@ -108,6 +129,11 @@ func (p *FaultPlan) validate(nodes int) error {
 		}
 		if ev.Stage < 0 || ev.Partition < 0 {
 			return fmt.Errorf("rdd: FaultPlan straggler names negative stage %d / partition %d", ev.Stage, ev.Partition)
+		}
+	}
+	for _, ev := range p.Corruptions {
+		if ev.Stage < 0 || ev.Block < 0 {
+			return fmt.Errorf("rdd: FaultPlan corruption names negative stage %d / block %d", ev.Stage, ev.Block)
 		}
 	}
 	return nil
@@ -151,6 +177,26 @@ func RandomFaultPlan(seed int64, stages, nodes, crashes, stragglers, diskLosses 
 	return p
 }
 
+// WithRandomCorruptions returns a copy of the plan with n seeded
+// corruption events appended, drawn over the first `stages` stages —
+// the corruption analogue of RandomFaultPlan (same seed, same events).
+func (p *FaultPlan) WithRandomCorruptions(seed int64, stages, n int) *FaultPlan {
+	if stages < 2 {
+		stages = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := *p
+	q.Corruptions = append([]Corruption(nil), p.Corruptions...)
+	for i := 0; i < n; i++ {
+		q.Corruptions = append(q.Corruptions, Corruption{
+			Stage: 1 + rng.Intn(stages-1),
+			Block: rng.Intn(1 << 16),
+			Torn:  rng.Intn(2) == 1,
+		})
+	}
+	return &q
+}
+
 // FetchFailedError is a reduce-side fetch hitting an invalidated map
 // output — Spark's FetchFailed. It indicts the parent map stage, not the
 // reduce task: the scheduler resubmits the map stage for the lost
@@ -165,10 +211,18 @@ type FetchFailedError struct {
 	// Epoch is the shuffle's recovery epoch at failure time; recovery is
 	// skipped when another task already recovered past it.
 	Epoch int
+	// Corrupt marks a durably staged block that failed checksum
+	// verification (rather than an output lost with its executor); the
+	// indicted map partition is recomputed all the same and its fresh
+	// staging overwrites the damaged block.
+	Corrupt bool
 }
 
 // Error implements error.
 func (e *FetchFailedError) Error() string {
+	if e.Corrupt {
+		return fmt.Sprintf("rdd: fetch failed: shuffle %d map partition %d block corrupt in durable store", e.ShuffleID, e.MapPart)
+	}
 	return fmt.Sprintf("rdd: fetch failed: shuffle %d map partition %d lost with executor %d", e.ShuffleID, e.MapPart, e.Node)
 }
 
@@ -184,11 +238,12 @@ const defaultBlacklistBackoff = 30 * simtime.Second
 // events already fired and the per-executor blacklist. The Conf's plan is
 // never mutated, so one plan can drive many contexts.
 type faultState struct {
-	mu         sync.Mutex
-	plan       FaultPlan
-	crashFired []bool
-	diskFired  []bool
-	stragFired []bool
+	mu           sync.Mutex
+	plan         FaultPlan
+	crashFired   []bool
+	diskFired    []bool
+	stragFired   []bool
+	corruptFired []bool
 	// downUntil[n] is the virtual time node n's blacklist expires;
 	// strikes[n] counts its crashes (exponential backoff doubles per
 	// strike).
@@ -202,12 +257,13 @@ func newFaultState(p *FaultPlan, nodes int) *faultState {
 		return nil
 	}
 	return &faultState{
-		plan:       *p,
-		crashFired: make([]bool, len(p.Crashes)),
-		diskFired:  make([]bool, len(p.DiskLosses)),
-		stragFired: make([]bool, len(p.Stragglers)),
-		downUntil:  make([]simtime.Duration, nodes),
-		strikes:    make([]int, nodes),
+		plan:         *p,
+		crashFired:   make([]bool, len(p.Crashes)),
+		diskFired:    make([]bool, len(p.DiskLosses)),
+		stragFired:   make([]bool, len(p.Stragglers)),
+		corruptFired: make([]bool, len(p.Corruptions)),
+		downUntil:    make([]simtime.Duration, nodes),
+		strikes:      make([]int, nodes),
 	}
 }
 
@@ -261,9 +317,21 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		c.rec.diskLosses.Add(1)
 		c.recm.injectDisk.Inc()
 	}
+	var toCorrupt []Corruption
+	for i := range fs.plan.Corruptions {
+		ev := &fs.plan.Corruptions[i]
+		if ev.Stage != stageID || fs.corruptFired[i] {
+			continue
+		}
+		fs.corruptFired[i] = true
+		toCorrupt = append(toCorrupt, *ev)
+	}
 	fs.mu.Unlock()
 	for _, node := range toLose {
 		c.loseNodeOutputs(node)
+	}
+	for _, ev := range toCorrupt {
+		c.corruptStagedBlock(ev)
 	}
 	return crashed
 }
@@ -375,6 +443,7 @@ type recovery struct {
 	diskLosses      atomic.Int64
 	stragglers      atomic.Int64
 	faultKills      atomic.Int64
+	corruptions     atomic.Int64
 }
 
 // recoveryMetrics are the pre-resolved registry handles for the recovery
@@ -391,6 +460,7 @@ type recoveryMetrics struct {
 	injectCrash     *obs.Counter
 	injectDisk      *obs.Counter
 	injectStraggler *obs.Counter
+	injectCorrupt   *obs.Counter
 }
 
 // newRecoveryMetrics resolves the recovery counter families against a
@@ -409,6 +479,7 @@ func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
 		injectCrash:     reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "executor-crash"}),
 		injectDisk:      reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "disk-loss"}),
 		injectStraggler: reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "straggler"}),
+		injectCorrupt:   reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "corruption"}),
 	}
 }
 
@@ -434,6 +505,10 @@ type RecoveryStats struct {
 	// ExecutorCrashes, DiskLosses and Stragglers count fired plan events;
 	// FaultKills counts task attempts killed by Conf.FaultInjector.
 	ExecutorCrashes, DiskLosses, Stragglers, FaultKills int64
+	// Corruptions counts fired plan corruption events that actually
+	// damaged a staged block (a corruption with nothing staged is a no-op
+	// and not counted).
+	Corruptions int64
 }
 
 // RecoveryStats returns the context's failure/recovery counters so far.
@@ -450,5 +525,6 @@ func (c *Context) RecoveryStats() RecoveryStats {
 		DiskLosses:              c.rec.diskLosses.Load(),
 		Stragglers:              c.rec.stragglers.Load(),
 		FaultKills:              c.rec.faultKills.Load(),
+		Corruptions:             c.rec.corruptions.Load(),
 	}
 }

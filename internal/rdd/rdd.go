@@ -50,6 +50,30 @@ func (r *RDD[T]) Checkpoint() error {
 	return ctx.Err()
 }
 
+// CheckpointData checkpoints like Checkpoint and additionally returns
+// the materialized rows, typed, per partition. It is the durable
+// checkpointer's hook: the driver persists exactly the materialization
+// the cadence checkpoint runs anyway, so writing to Config.DurableDir
+// adds no extra stage — stage numbering, fault-plan firing points and
+// the virtual clock are identical with and without a durable dir.
+func (r *RDD[T]) CheckpointData() ([][]T, error) {
+	ctx := r.ds.ctx
+	data := ctx.runJob(r.ds)
+	r.ds.source = data
+	r.ds.narrow = nil
+	r.ds.shuffle = nil
+	r.ds.deps = nil
+	out := make([][]T, len(data))
+	for i, part := range data {
+		typed := make([]T, len(part))
+		for j, rec := range part {
+			typed[j] = rec.(T)
+		}
+		out[i] = typed
+	}
+	return out, ctx.Err()
+}
+
 // Unpersist drops cached partitions and returns their memory.
 func (r *RDD[T]) Unpersist() {
 	ds := r.ds

@@ -55,11 +55,20 @@ func (c *Context) newShuffleDep(parent *dataset, part Partitioner,
 	}
 }
 
-// bucketRef is one map task's contribution to one reduce partition.
+// bucketRef is one map task's contribution to one reduce partition —
+// either in-process records (recs) or, when the bucket was staged in the
+// durable block store, a block key plus record count (stored). Staged or
+// not, bytes carries the same sizer-priced payload, so virtual traffic
+// charges are identical either way.
 type bucketRef struct {
 	mapPart int
 	recs    []keyedRecord
 	bytes   int64
+	// stored marks a bucket staged in the durable store under key with n
+	// encoded records; recs is nil for stored buckets.
+	stored bool
+	key    string
+	n      int
 }
 
 // runMapStage executes the map side of a shuffle: one task per parent
@@ -210,7 +219,14 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 			keep := refs[:0]
 			for _, ref := range refs {
 				if recomputed[ref.mapPart] {
-					putRecSlice(ref.recs)
+					if ref.stored {
+						// The fresh contribution re-Puts the same key below;
+						// deleting first covers a recompute that no longer
+						// produces this bucket (and drops a damaged file).
+						c.store.Delete(ref.key)
+					} else {
+						putRecSlice(ref.recs)
+					}
 				} else {
 					keep = append(keep, ref)
 				}
@@ -236,7 +252,19 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 			for _, kr := range recs {
 				bytes += c.sizer(kr.key) + c.sizer(kr.val)
 			}
-			st.byReduce[b] = append(st.byReduce[b], bucketRef{mapPart: split, recs: recs, bytes: bytes})
+			ref := bucketRef{mapPart: split, recs: recs, bytes: bytes}
+			if c.store != nil && c.conf.SpillCodec != nil && !sd.combining() {
+				// Stage the bucket durably (all-or-nothing per bucket, and
+				// purely data-dependent — see spill.go's determinism note).
+				if blob, ok := c.encodeBucket(recs); ok {
+					key := shuffleBlockKey(sd.id, split, b)
+					if err := c.store.Put(key, blob); err == nil {
+						putRecSlice(recs)
+						ref = bucketRef{mapPart: split, bytes: bytes, stored: true, key: key, n: len(recs)}
+					}
+				}
+			}
+			st.byReduce[b] = append(st.byReduce[b], ref)
 			st.refsByMap[split]++
 		}
 		// The slices now belong to the shuffle state (recycled when the
@@ -273,9 +301,15 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 		return fmt.Errorf("rdd: shuffle %d map stage failed after %d attempts: %v",
 			ff.ShuffleID, st.attempts, ff)
 	}
-	lost := make([]int, 0, len(st.lost))
+	lost := make([]int, 0, len(st.lost)+1)
 	for p := range st.lost {
 		lost = append(lost, p)
+	}
+	if ff.Corrupt && ff.MapPart >= 0 && !st.lost[ff.MapPart] {
+		// A corrupt staged block indicts its map partition even though no
+		// executor output was flagged lost: recompute it too, so the fresh
+		// staging overwrites the damaged file.
+		lost = append(lost, ff.MapPart)
 	}
 	sortInts(lost)
 	st.mu.Unlock()
@@ -380,11 +414,19 @@ func (c *Context) readShuffle(sd *shuffleDep, split int, tc *TaskContext) []Reco
 	} else {
 		total := 0
 		for _, ref := range refs {
-			total += len(ref.recs)
+			if ref.stored {
+				total += ref.n
+			} else {
+				total += len(ref.recs)
+			}
 		}
 		recs = make([]Record, 0, total)
 		for _, ref := range refs {
 			c.chargeFetch(tc, st.mapNode[ref.mapPart], ref.bytes)
+			if ref.stored {
+				recs = c.readStoredBucket(sd, st, ref, recs)
+				continue
+			}
 			for _, kr := range ref.recs {
 				if kr.rec != nil {
 					recs = append(recs, kr.rec)
@@ -439,14 +481,21 @@ func (c *Context) retireOldShuffles() {
 		for node, bytes := range spillByNode {
 			c.simul.ReleaseShuffle(node, bytes)
 		}
+		if c.store != nil {
+			// Retired generations also leave the durable store (their
+			// staged blocks would otherwise pin disk forever).
+			c.store.DeletePrefix(shufflePrefix(st.dep.id))
+		}
 	}
 	// Recycle the retired staging slices (readShuffle panics on retired
 	// generations, so nothing can still be reading them).
 	for _, byReduce := range retiredBuckets {
 		for _, refs := range byReduce {
 			for i := range refs {
-				putRecSlice(refs[i].recs)
-				refs[i].recs = nil
+				if refs[i].recs != nil {
+					putRecSlice(refs[i].recs)
+					refs[i].recs = nil
+				}
 			}
 		}
 	}

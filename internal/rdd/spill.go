@@ -1,0 +1,242 @@
+package rdd
+
+import (
+	"fmt"
+
+	"dpspark/internal/store"
+)
+
+// Durable staging: when Conf.DurableDir is set the context owns a block
+// store (internal/store) and routes the engine's storage consumers
+// through it — non-combining shuffle buckets are encoded and staged as
+// checksummed blocks (evicted to disk under Conf.MemoryBudget pressure),
+// and broadcast payloads keep a verified durable copy. A block that
+// fails verification on read is a lost block: the fetch raises
+// FetchFailedError and the PR 3 recovery machinery recomputes exactly
+// the indicted map partition, whose fresh Put overwrites the damaged
+// file.
+//
+// Determinism: whether a bucket is *staged* depends only on the data
+// (every record codec-encodable), never on memory pressure — the budget
+// only moves blocks between the store's tiers, which changes no virtual
+// charge and no record content. Decoded records are fresh copies; the
+// codec preserves the tiles' ownership generation tags, so the clone-
+// elision replay semantics (and therefore the bits) are identical to the
+// pointer-sharing in-memory path.
+
+// Codec serializes records for the durable block store. The engine is
+// type-agnostic, so the consumer supplies the codec (core's TileCodec
+// covers the DP drivers' pair-of-tile records).
+type Codec interface {
+	// Append encodes rec onto dst and reports whether the codec handles
+	// this record type; ok=false leaves the bucket memory-resident.
+	Append(dst []byte, rec Record) ([]byte, bool)
+	// Decode decodes one record from the front of b, returning the rest.
+	// Corrupted input must error, never panic.
+	Decode(b []byte) (Record, []byte, error)
+}
+
+// Store exposes the context's durable block store (nil when
+// Conf.DurableDir is unset). Drivers use it for their own staging (the
+// CB driver's collect/redistribute files).
+func (c *Context) Store() *store.Store { return c.store }
+
+// StoreStats returns the block store's tier sizes and spill/eviction/
+// corruption counters; the zero value when no store is configured.
+func (c *Context) StoreStats() store.Stats {
+	if c.store == nil {
+		return store.Stats{}
+	}
+	return c.store.Stats()
+}
+
+// shuffleBlockKey names the staged block of one (map partition, reduce
+// partition) bucket.
+func shuffleBlockKey(shuffleID, mapPart, reduce int) string {
+	return fmt.Sprintf("shuffle/%d/m%d/r%d", shuffleID, mapPart, reduce)
+}
+
+// shufflePrefix is the key prefix of every block of one shuffle.
+func shufflePrefix(shuffleID int) string {
+	return fmt.Sprintf("shuffle/%d/", shuffleID)
+}
+
+// encodeBucket serializes a bucket's records through the spill codec;
+// ok=false (bucket stays memory-resident) if any record lacks the
+// passthrough original or the codec declines it.
+func (c *Context) encodeBucket(recs []keyedRecord) ([]byte, bool) {
+	codec := c.conf.SpillCodec
+	dst := make([]byte, 0, 64*len(recs))
+	for _, kr := range recs {
+		if kr.rec == nil {
+			return nil, false
+		}
+		var ok bool
+		dst, ok = codec.Append(dst, kr.rec)
+		if !ok {
+			return nil, false
+		}
+	}
+	return dst, true
+}
+
+// readStoredBucket fetches and decodes one staged bucket into out. Any
+// verification or decode failure means the block is lost: the read
+// panics with a FetchFailedError indicting the bucket's map partition,
+// and the recovery path recomputes it (the recompute's Put overwrites
+// the damaged block). Called with st.mu read-held, like the in-memory
+// path.
+func (c *Context) readStoredBucket(sd *shuffleDep, st *shuffleState, ref bucketRef, out []Record) []Record {
+	fail := func() {
+		panic(&FetchFailedError{
+			ShuffleID: sd.id,
+			MapPart:   ref.mapPart,
+			Node:      st.mapNode[ref.mapPart],
+			Epoch:     st.epoch,
+			Corrupt:   true,
+		})
+	}
+	blob, err := c.store.Get(ref.key)
+	if err != nil {
+		fail()
+	}
+	codec := c.conf.SpillCodec
+	n := 0
+	for len(blob) > 0 {
+		rec, rest, err := codec.Decode(blob)
+		if err != nil {
+			fail()
+		}
+		out = append(out, rec)
+		blob = rest
+		n++
+	}
+	if n != ref.n {
+		fail()
+	}
+	return out
+}
+
+// encodeRecords serializes a broadcast's items; ok=false if the codec
+// declines any of them (the broadcast then simply isn't staged durably).
+func encodeRecords[T any](c *Context, items []T) ([]byte, bool) {
+	codec := c.conf.SpillCodec
+	var dst []byte
+	for _, it := range items {
+		var ok bool
+		dst, ok = codec.Append(dst, it)
+		if !ok {
+			return nil, false
+		}
+	}
+	return dst, true
+}
+
+// corruptStagedBlock fires one Corruption event: among the newest
+// materialized shuffle that has staged blocks, the event's Block index
+// (mod the sorted key count — a deterministic set, since staging depends
+// only on the data) selects the victim, which is forced to disk and
+// damaged. No-op without a store or staged blocks.
+func (c *Context) corruptStagedBlock(ev Corruption) {
+	if c.store == nil {
+		return
+	}
+	c.mu.Lock()
+	log := append([]int(nil), c.shuffleLog...)
+	c.mu.Unlock()
+	for i := len(log) - 1; i >= 0; i-- {
+		keys := c.store.Keys(shufflePrefix(log[i]))
+		if len(keys) == 0 {
+			continue
+		}
+		if c.store.Corrupt(keys[ev.Block%len(keys)], ev.Torn) {
+			c.rec.corruptions.Add(1)
+			c.recm.injectCorrupt.Inc()
+		}
+		return
+	}
+}
+
+// EngineState is the restartable slice of a context's scheduler state: a
+// driver checkpoint persists it alongside the data so a resumed run
+// continues the global stage/shuffle numbering (fault plans key on stage
+// IDs) and does not re-fire plan events that already fired before the
+// checkpoint. Blacklist expiry timers are deliberately NOT carried — a
+// restarted driver forgets them, as Spark's would — but crash strikes
+// are, so repeated crashes keep doubling the backoff.
+type EngineState struct {
+	NextStage    int    `json:"next_stage"`
+	NextShuffle  int    `json:"next_shuffle"`
+	CrashFired   []bool `json:"crash_fired,omitempty"`
+	DiskFired    []bool `json:"disk_fired,omitempty"`
+	StragFired   []bool `json:"strag_fired,omitempty"`
+	CorruptFired []bool `json:"corrupt_fired,omitempty"`
+	Strikes      []int  `json:"strikes,omitempty"`
+}
+
+// EngineState snapshots the context's restartable scheduler state for a
+// driver checkpoint.
+func (c *Context) EngineState() EngineState {
+	c.mu.Lock()
+	es := EngineState{NextStage: c.nextStage, NextShuffle: c.nextShuffle}
+	c.mu.Unlock()
+	if fs := c.faults; fs != nil {
+		fs.mu.Lock()
+		es.CrashFired = append([]bool(nil), fs.crashFired...)
+		es.DiskFired = append([]bool(nil), fs.diskFired...)
+		es.StragFired = append([]bool(nil), fs.stragFired...)
+		es.CorruptFired = append([]bool(nil), fs.corruptFired...)
+		es.Strikes = append([]int(nil), fs.strikes...)
+		fs.mu.Unlock()
+	}
+	return es
+}
+
+// restoreEngineState applies a checkpointed EngineState to a fresh
+// context (validated by Conf.normalize).
+func (c *Context) restoreEngineState(es *EngineState) {
+	c.mu.Lock()
+	c.nextStage = es.NextStage
+	c.nextShuffle = es.NextShuffle
+	c.mu.Unlock()
+	if fs := c.faults; fs != nil {
+		fs.mu.Lock()
+		copy(fs.crashFired, es.CrashFired)
+		copy(fs.diskFired, es.DiskFired)
+		copy(fs.stragFired, es.StragFired)
+		copy(fs.corruptFired, es.CorruptFired)
+		copy(fs.strikes, es.Strikes)
+		fs.mu.Unlock()
+	}
+}
+
+// validateRestore checks a Restore snapshot against the Conf's plan and
+// cluster (part of Conf.normalize).
+func validateRestore(es *EngineState, plan *FaultPlan, nodes int) error {
+	if es.NextStage < 0 || es.NextShuffle < 0 {
+		return fmt.Errorf("rdd: Conf.Restore has negative stage/shuffle cursor (%d, %d)", es.NextStage, es.NextShuffle)
+	}
+	check := func(name string, got, want int) error {
+		if got != 0 && got != want {
+			return fmt.Errorf("rdd: Conf.Restore.%s has %d entries, FaultPlan has %d — restore with the run's original plan", name, got, want)
+		}
+		return nil
+	}
+	var crashes, disks, strags, corrupts int
+	if plan != nil {
+		crashes, disks, strags, corrupts = len(plan.Crashes), len(plan.DiskLosses), len(plan.Stragglers), len(plan.Corruptions)
+	}
+	if err := check("CrashFired", len(es.CrashFired), crashes); err != nil {
+		return err
+	}
+	if err := check("DiskFired", len(es.DiskFired), disks); err != nil {
+		return err
+	}
+	if err := check("StragFired", len(es.StragFired), strags); err != nil {
+		return err
+	}
+	if err := check("CorruptFired", len(es.CorruptFired), corrupts); err != nil {
+		return err
+	}
+	return check("Strikes", len(es.Strikes), nodes)
+}

@@ -7,6 +7,9 @@
 #   BENCH_recovery.json — modelled recovery overhead under the standard
 #                         seeded fault plan (crash-rate sweep, IM vs CB,
 #                         speculation saving)
+#   BENCH_store.json    — durable block store: checksummed spill + driver
+#                         checkpoint round trips, real-run durability
+#                         overhead and checkpoint–restart cost
 #
 # Usage:
 #   scripts/bench.sh              # full run (go test default benchtime)
@@ -29,4 +32,7 @@ go test -run '^$' -bench 'BenchmarkEngine|BenchmarkBaseline|BenchmarkTable|Bench
 go test -run '^$' -bench 'BenchmarkRecovery' -benchtime 1x -benchmem . \
   | tee /dev/stderr | /tmp/benchjson -o BENCH_recovery.json
 
-echo "wrote BENCH_kernels.json, BENCH_engine.json and BENCH_recovery.json" >&2
+go test -run '^$' -bench 'BenchmarkStore|BenchmarkDurable' -benchtime "$BENCHTIME" -benchmem . \
+  | tee /dev/stderr | /tmp/benchjson -o BENCH_store.json
+
+echo "wrote BENCH_kernels.json, BENCH_engine.json, BENCH_recovery.json and BENCH_store.json" >&2
