@@ -105,7 +105,16 @@ func (run *runner) persist(parts [][]Block, k int) error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint meta: %w", err)
 	}
-	return store.WriteCheckpoint(run.cfg.DurableDir, k+1, mj, buf)
+	if err := store.WriteCheckpoint(run.cfg.DurableDir, k+1, mj, buf); err != nil {
+		return err
+	}
+	if run.cfg.KeepCheckpoints > 0 {
+		// Retention runs only after the new boundary verified (GC re-reads
+		// it); a crash anywhere in here leaves at least the newest K
+		// intact files on disk.
+		store.GCCheckpoints(run.cfg.DurableDir, run.cfg.KeepCheckpoints)
+	}
+	return nil
 }
 
 // LoadCheckpoint returns the newest intact checkpoint under dir (torn or

@@ -106,6 +106,14 @@ type Config struct {
 	// newest intact checkpoint, bit-identical to the uninterrupted run.
 	// Default "": checkpoints only truncate lineage in memory.
 	DurableDir string
+	// KeepCheckpoints, when > 0, bounds durable checkpoint retention:
+	// after each boundary's checkpoint is written, only the newest K
+	// intact ckpt-*.ck files are retained — older ones are deleted, and
+	// never before a newer checkpoint has verified, so a crash landing
+	// anywhere inside the GC window still leaves a resumable set (see
+	// store.GCCheckpoints). Requires DurableDir. Default 0: keep every
+	// checkpoint.
+	KeepCheckpoints int
 	// StopAfter, when >0, stops the driver loop cleanly after that many
 	// iterations and returns the partial table — the kill switch of
 	// checkpoint–restart demos and tests (`dpspark durable -stop`): a
@@ -155,6 +163,12 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 	}
 	if cfg.StopAfter < 0 {
 		return fmt.Errorf("core: StopAfter must be ≥ 0 (0 runs to completion), got %d", cfg.StopAfter)
+	}
+	if cfg.KeepCheckpoints < 0 {
+		return fmt.Errorf("core: KeepCheckpoints must be ≥ 0 (0 keeps every checkpoint), got %d", cfg.KeepCheckpoints)
+	}
+	if cfg.KeepCheckpoints > 0 && cfg.DurableDir == "" {
+		return fmt.Errorf("core: KeepCheckpoints %d needs DurableDir — there are no checkpoint files to retire", cfg.KeepCheckpoints)
 	}
 	if cfg.DurableDir != "" {
 		if err := os.MkdirAll(cfg.DurableDir, 0o755); err != nil {

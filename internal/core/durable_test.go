@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"dpspark/internal/cluster"
@@ -239,6 +242,122 @@ func TestDurableStopAfter(t *testing.T) {
 	}
 	if !bitIdentical(full.dense, out.ToDense()) {
 		t.Fatal("stop+resume differs from the uninterrupted bits")
+	}
+}
+
+// TestCheckpointGCRetention: KeepCheckpoints bounds the on-disk
+// checkpoint set to the newest K intact boundaries, without changing the
+// bits, and the pruned directory still resumes.
+func TestCheckpointGCRetention(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	rule := semiring.NewGaussian()
+	in := randomInput(rule, 32, rng)
+	clean := chaosRun(t, rule, IM, in, nil)
+
+	dir := t.TempDir()
+	ctx := rdd.NewContext(durableConf(dir, 0, nil, nil))
+	cfg := Config{Rule: rule, BlockSize: 8, Driver: IM, Partitions: 8,
+		DurableDir: dir, KeepCheckpoints: 2}
+	bl := matrix.Block(in, cfg.BlockSize, rule.Pad(), rule.PadDiag())
+	out, _, err := Run(ctx, bl, cfg)
+	if err != nil {
+		t.Fatalf("Run with retention: %v", err)
+	}
+	if !bitIdentical(clean.dense, out.ToDense()) {
+		t.Fatal("retention changed the bits")
+	}
+	// r=4 boundaries were written; only the newest two survive.
+	if ids := store.ListCheckpoints(dir); len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("ListCheckpoints = %v, want [3 4]", ids)
+	}
+
+	// The pruned directory resumes from its oldest surviving boundary.
+	meta, tbl, err := LoadCheckpointAt(dir, 3)
+	if err != nil {
+		t.Fatalf("load pruned checkpoint: %v", err)
+	}
+	rctx := rdd.NewContext(durableConf(dir, 0, nil, &meta.Engine))
+	rcfg := Config{Rule: rule, BlockSize: meta.B, Driver: IM, Partitions: meta.Partitions,
+		CheckpointEvery: meta.CheckpointEvery, DurableDir: dir, KeepCheckpoints: 2}
+	resumed, _, err := Resume(rctx, meta, tbl, rcfg)
+	if err != nil {
+		t.Fatalf("resume from pruned dir: %v", err)
+	}
+	if !bitIdentical(clean.dense, resumed.ToDense()) {
+		t.Fatal("resume from pruned dir differs from fault-free bits")
+	}
+
+	// The knob validates in core's normalize.
+	vctx := rdd.NewContext(rdd.Conf{Cluster: cluster.LocalN(4, 2)})
+	vbl := matrix.Block(in, 8, rule.Pad(), rule.PadDiag())
+	if _, _, err := Run(vctx, vbl, Config{Rule: rule, BlockSize: 8, KeepCheckpoints: -1}); err == nil {
+		t.Fatal("negative KeepCheckpoints must be rejected")
+	}
+	if _, _, err := Run(vctx, vbl, Config{Rule: rule, BlockSize: 8, KeepCheckpoints: 2}); err == nil {
+		t.Fatal("KeepCheckpoints without DurableDir must be rejected")
+	}
+}
+
+// TestCheckpointGCCrashWindowResume: a driver killed after writing a new
+// boundary but before GC finished deleting an old one leaves a stale
+// checkpoint behind; the restarted driver still resumes from the newest
+// boundary and its next retention pass sweeps the leftover.
+func TestCheckpointGCCrashWindowResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	rule := semiring.NewFloydWarshall()
+	in := randomInput(rule, 32, rng)
+	clean := chaosRun(t, rule, IM, in, nil)
+
+	runInto := func(dir string, keep int) {
+		ctx := rdd.NewContext(durableConf(dir, 0, nil, nil))
+		cfg := Config{Rule: rule, BlockSize: 8, Driver: IM, Partitions: 8,
+			DurableDir: dir, KeepCheckpoints: keep}
+		bl := matrix.Block(in, cfg.BlockSize, rule.Pad(), rule.PadDiag())
+		if _, _, err := Run(ctx, bl, cfg); err != nil {
+			t.Fatalf("run into %s: %v", dir, err)
+		}
+	}
+	keepAll, pruned := t.TempDir(), t.TempDir()
+	runInto(keepAll, 0)
+	runInto(pruned, 2)
+
+	// Reconstruct the crash window: boundary 1 (deleted by the pruned
+	// run's GC) reappears next to the surviving [3 4].
+	stale := fmt.Sprintf("ckpt-%06d.ck", 1)
+	raw, err := os.ReadFile(filepath.Join(keepAll, stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pruned, stale), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted driver ignores the stale boundary: newest wins.
+	meta, tbl, err := LoadCheckpoint(pruned)
+	if err != nil {
+		t.Fatalf("load after crash window: %v", err)
+	}
+	if meta.Iteration != 4 {
+		t.Fatalf("newest checkpoint cursor = %d, want 4", meta.Iteration)
+	}
+	// Resume one iteration earlier so a boundary persists and retention
+	// runs again — the stale file must be gone afterwards.
+	meta, tbl, err = LoadCheckpointAt(pruned, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := rdd.NewContext(durableConf(pruned, 0, nil, &meta.Engine))
+	rcfg := Config{Rule: rule, BlockSize: meta.B, Driver: IM, Partitions: meta.Partitions,
+		CheckpointEvery: meta.CheckpointEvery, DurableDir: pruned, KeepCheckpoints: 2}
+	out, _, err := Resume(rctx, meta, tbl, rcfg)
+	if err != nil {
+		t.Fatalf("resume across the crash window: %v", err)
+	}
+	if !bitIdentical(clean.dense, out.ToDense()) {
+		t.Fatal("crash-window resume differs from fault-free bits")
+	}
+	if ids := store.ListCheckpoints(pruned); len(ids) != 2 || ids[0] != 3 || ids[1] != 4 {
+		t.Fatalf("stale checkpoint not swept: %v", ids)
 	}
 }
 

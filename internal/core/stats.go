@@ -52,6 +52,19 @@ type Stats struct {
 	// modelled: durable staging is host I/O the cluster model does not
 	// price (the modelled charges are identical with and without it).
 	SpillWall time.Duration
+
+	// ReplicatedBlocks counts blocks the run copied to the remote replica
+	// tier (Config.RemoteDir); zero without one.
+	ReplicatedBlocks int64
+	// RestoredBlocks and RecomputedBlocks split the run's block repairs
+	// by path: staged shuffle blocks restored from intact remote replicas
+	// vs rebuilt by the partial map-recompute fallback (replica missing,
+	// corrupt, the tier down, or restore retries exhausted).
+	RestoredBlocks, RecomputedBlocks int64
+	// RemoteRetries counts remote restore reads retried after a simulated
+	// timeout; DegradedWindows counts entries into recompute-only
+	// degraded mode (one per remote-outage window passed through).
+	RemoteRetries, DegradedWindows int64
 }
 
 // RunMark snapshots an engine context before a run so StatsSince can
@@ -63,6 +76,7 @@ type RunMark struct {
 	bd     rdd.Breakdown
 	events int
 	st     store.Stats
+	rs     rdd.RecoveryStats
 }
 
 // MarkRun captures the context state at the start of a run.
@@ -73,6 +87,7 @@ func MarkRun(ctx *rdd.Context) RunMark {
 		bd:     ctx.Breakdown(),
 		events: len(ctx.Events()),
 		st:     ctx.StoreStats(),
+		rs:     ctx.RecoveryStats(),
 	}
 }
 
@@ -82,6 +97,7 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 	elapsed := ctx.Clock() - m.clock
 	bd := ctx.Breakdown().Sub(m.bd)
 	st := ctx.StoreStats()
+	rs := ctx.RecoveryStats()
 	skew := 0.0
 	if events := ctx.Events(); m.events < len(events) {
 		for _, ev := range events[m.events:] {
@@ -109,5 +125,11 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		EvictedBlocks:  st.Evicted - m.st.Evicted,
 		CorruptBlocks:  st.CorruptDetected - m.st.CorruptDetected,
 		SpillWall:      st.SpillWall - m.st.SpillWall,
+
+		ReplicatedBlocks: st.ReplicatedBlocks - m.st.ReplicatedBlocks,
+		RestoredBlocks:   rs.RestoredBlocks - m.rs.RestoredBlocks,
+		RecomputedBlocks: rs.RecomputedBlocks - m.rs.RecomputedBlocks,
+		RemoteRetries:    rs.RemoteRetries - m.rs.RemoteRetries,
+		DegradedWindows:  rs.DegradedWindows - m.rs.DegradedWindows,
 	}
 }

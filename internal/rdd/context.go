@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"dpspark/internal/cluster"
 	"dpspark/internal/costmodel"
@@ -81,6 +83,36 @@ type Conf struct {
 	// a tile codec). Without one, shuffle/broadcast staging is skipped
 	// even when DurableDir is set.
 	SpillCodec Codec
+	// RemoteDir roots the shared remote replica tier (store.FSTier)
+	// behind the durable store: staged shuffle blocks are asynchronously
+	// replicated under it, and recovery restores lost blocks from intact
+	// replicas before falling back to recompute. Empty (the default)
+	// disables the tier; a non-empty value requires DurableDir (the tier
+	// replicates the durable store). The directory is shared — several
+	// contexts (or a restarted driver) may point at the same one.
+	RemoteDir string
+	// RemoteOpTimeout is the per-operation deadline for simulated remote
+	// restore reads: a read whose (slowdown-dilated) cost exceeds it
+	// times out, is charged the timeout and retried. Default 2 virtual
+	// seconds; negative values are rejected.
+	RemoteOpTimeout simtime.Duration
+	// RemoteMaxRetries bounds restore-read retries after timeouts
+	// (exponential backoff, see RemoteBackoff). Default 3; negative
+	// values are rejected.
+	RemoteMaxRetries int
+	// RemoteBackoff is the base delay charged before a restore retry,
+	// doubling per attempt. Default 500 virtual milliseconds; negative
+	// values are rejected.
+	RemoteBackoff simtime.Duration
+	// SpillStraggler > 1 enables spill-aware scheduling: when the block
+	// store's cumulative spill wall time grew since the last stage, the
+	// node holding the most staged shuffle bytes is modelled as
+	// memory-starved — its tasks are dilated by this factor so the
+	// speculation path sees them as stragglers. 0 (the default)
+	// disables it; values in (0, 1] are rejected. Note the trigger reads
+	// real spill timing, so enabling this trades clock determinism for
+	// memory-pressure fidelity (results stay bit-identical either way).
+	SpillStraggler float64
 	// Restore seeds a fresh context with a checkpointed EngineState so a
 	// resumed run continues the stage/shuffle numbering and skips fault
 	// events that fired before the checkpoint. Validated against the
@@ -126,6 +158,21 @@ func (conf *Conf) normalize() error {
 			return fmt.Errorf("rdd: Conf.DurableDir %q is not creatable: %w", conf.DurableDir, err)
 		}
 	}
+	if conf.RemoteDir != "" && conf.DurableDir == "" {
+		return fmt.Errorf("rdd: Conf.RemoteDir needs Conf.DurableDir — the remote tier replicates the durable store")
+	}
+	if conf.RemoteOpTimeout < 0 {
+		return fmt.Errorf("rdd: Conf.RemoteOpTimeout must be ≥ 0 (0 means the default 2s), got %v", conf.RemoteOpTimeout)
+	}
+	if conf.RemoteMaxRetries < 0 {
+		return fmt.Errorf("rdd: Conf.RemoteMaxRetries must be ≥ 0 (0 means the default 3), got %d", conf.RemoteMaxRetries)
+	}
+	if conf.RemoteBackoff < 0 {
+		return fmt.Errorf("rdd: Conf.RemoteBackoff must be ≥ 0 (0 means the default 500ms), got %v", conf.RemoteBackoff)
+	}
+	if conf.SpillStraggler < 0 || (conf.SpillStraggler > 0 && conf.SpillStraggler <= 1) {
+		return fmt.Errorf("rdd: Conf.SpillStraggler must be > 1 (0 disables spill-aware scheduling), got %g", conf.SpillStraggler)
+	}
 	if conf.Restore != nil {
 		if err := validateRestore(conf.Restore, conf.FaultPlan, conf.Cluster.Nodes); err != nil {
 			return err
@@ -155,6 +202,15 @@ func (conf *Conf) normalize() error {
 	if conf.SpeculationQuantile == 0 {
 		conf.SpeculationQuantile = 0.75
 	}
+	if conf.RemoteOpTimeout == 0 {
+		conf.RemoteOpTimeout = 2 * simtime.Second
+	}
+	if conf.RemoteMaxRetries == 0 {
+		conf.RemoteMaxRetries = 3
+	}
+	if conf.RemoteBackoff == 0 {
+		conf.RemoteBackoff = 500 * simtime.Millisecond
+	}
 	return nil
 }
 
@@ -183,6 +239,7 @@ type Context struct {
 	laneNames sync.Once
 
 	mu            sync.Mutex
+	spillWallSeen time.Duration
 	nextDataset   int
 	nextShuffle   int
 	nextStage     int
@@ -345,6 +402,17 @@ func NewContext(conf Conf) *Context {
 			panic(err)
 		}
 		c.store = st
+	}
+	if conf.RemoteDir != "" {
+		tier, err := store.NewFSTier(conf.RemoteDir)
+		if err != nil {
+			panic(err)
+		}
+		// Only shuffle blocks replicate: broadcast payloads and driver
+		// staging files are cheap to rebuild, lost map outputs are not.
+		c.store.AttachRemote(tier, func(key string) bool {
+			return strings.HasPrefix(key, "shuffle/")
+		})
 	}
 	if conf.Restore != nil {
 		c.restoreEngineState(conf.Restore)
@@ -573,6 +641,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	}
 	crashed := c.fireStageFaults(stageID)
 	asOf := c.Clock()
+	spillNode := c.spillStragglerNode()
 	parts := spec.parts
 
 	tcs := make([]*TaskContext, parts)
@@ -631,6 +700,17 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 					tc.compute += extra
 					c.rec.stragglers.Add(1)
 					c.recm.injectStraggler.Inc()
+				}
+				if spillNode >= 0 && tc.Node == spillNode && tc.compute > 0 {
+					// Spill-aware scheduling: the memory-starved node's
+					// tasks run dilated; the slowdown is recorded in
+					// slowed, so speculation prices their healthy
+					// duration and fires copies elsewhere.
+					extra := simtime.Duration(tc.compute.Seconds() * (c.conf.SpillStraggler - 1))
+					tc.slowed += extra
+					tc.compute += extra
+					c.rec.spillStragglers.Add(1)
+					c.recm.spillStragglers.Inc()
 				}
 				tc.compute += lost // failed attempts' work is not free
 				return
@@ -745,6 +825,50 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 		MaxTask:    rep.MaxTask,
 		MeanTask:   rep.MeanTask,
 	})
+}
+
+// spillStragglerNode implements spill-aware scheduling
+// (Conf.SpillStraggler): before a stage launches, if the block store's
+// cumulative spill wall time grew since the last check — real evidence
+// the memory budget is forcing blocks to disk — the node holding the
+// most staged shuffle bytes (newest materialized shuffle, ties to the
+// lowest node) is modelled as memory-starved for this stage. Returns -1
+// when the feature is off or no pressure was seen.
+func (c *Context) spillStragglerNode() int {
+	if c.conf.SpillStraggler <= 1 || c.store == nil {
+		return -1
+	}
+	// Settle pending async spill writes so the pressure signal covers
+	// everything the previous stages queued.
+	c.store.Flush()
+	sw := c.store.Stats().SpillWall
+	c.mu.Lock()
+	grew := sw > c.spillWallSeen
+	if grew {
+		c.spillWallSeen = sw
+	}
+	var st *shuffleState
+	if grew {
+		for i := len(c.shuffleLog) - 1; i >= 0 && st == nil; i-- {
+			st = c.shuffles[c.shuffleLog[i]]
+		}
+	}
+	c.mu.Unlock()
+	if st == nil {
+		return -1
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if !st.done || st.retired {
+		return -1
+	}
+	node, best := -1, int64(0)
+	for n, b := range st.spillByNode {
+		if b > best {
+			node, best = n, b
+		}
+	}
+	return node
 }
 
 // speculate applies speculative execution to a stage's virtual tasks:

@@ -78,6 +78,49 @@ type Corruption struct {
 	Torn bool
 }
 
+// RemoteOutage takes the remote replica tier down for a window of
+// stages: from the start of stage From until (exclusive) the start of
+// stage From+Dur, replication parks its queue and recovery skips the
+// restore path — the engine degrades to recompute-only. Window
+// membership is evaluated against the run's high-water stage ID, so
+// resubmitted recovery stages (which reuse old IDs) can never re-open a
+// closed window.
+type RemoteOutage struct {
+	// From is the global stage ID at whose start the outage begins.
+	From int
+	// Dur is the window length in stages (> 0).
+	Dur int
+}
+
+// RemoteSlow dilates simulated remote-tier operations by Factor for a
+// window of stages ([From, From+Dur), same semantics as RemoteOutage).
+// A dilated restore read that exceeds Conf.RemoteOpTimeout times out
+// and is retried with exponential backoff up to Conf.RemoteMaxRetries;
+// exhausting the retries falls back to recompute.
+type RemoteSlow struct {
+	// From is the global stage ID at whose start the slowdown begins.
+	From int
+	// Dur is the window length in stages (> 0).
+	Dur int
+	// Factor > 1 multiplies simulated remote operation time.
+	Factor float64
+}
+
+// RemoteCorruption schedules the deliberate damage of one remote
+// replica at the start of one stage: pending replication is flushed,
+// then among the newest shuffle's replicas (sorted keys) index Block
+// modulo the count selects the victim — the same selection rule as the
+// local Corruption event, so pairing the two with equal indexes damages
+// a block and its replica together (forcing the recompute fallback).
+type RemoteCorruption struct {
+	// Stage is the global stage ID at whose start the damage happens.
+	Stage int
+	// Block indexes the victim among the replicas (mod the count).
+	Block int
+	// Torn truncates the replica file instead of flipping a bit.
+	Torn bool
+}
+
 // FaultPlan is a deterministic schedule of injected cluster failures,
 // attached via Conf.FaultPlan. Each event fires at most once per context,
 // when the named stage starts. Stage IDs are the engine's global stage
@@ -95,11 +138,18 @@ type FaultPlan struct {
 	Stragglers []Straggler
 	// Corruptions are the scheduled durable-block damages.
 	Corruptions []Corruption
+	// RemoteOutages are the scheduled remote-tier unavailability windows.
+	RemoteOutages []RemoteOutage
+	// RemoteSlows are the scheduled remote-tier slowdown windows.
+	RemoteSlows []RemoteSlow
+	// RemoteCorruptions are the scheduled remote-replica damages.
+	RemoteCorruptions []RemoteCorruption
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p *FaultPlan) Empty() bool {
-	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers)+len(p.Corruptions) == 0
+	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers)+len(p.Corruptions)+
+		len(p.RemoteOutages)+len(p.RemoteSlows)+len(p.RemoteCorruptions) == 0
 }
 
 // validate checks the plan against a cluster size.
@@ -134,6 +184,24 @@ func (p *FaultPlan) validate(nodes int) error {
 	for _, ev := range p.Corruptions {
 		if ev.Stage < 0 || ev.Block < 0 {
 			return fmt.Errorf("rdd: FaultPlan corruption names negative stage %d / block %d", ev.Stage, ev.Block)
+		}
+	}
+	for _, ev := range p.RemoteOutages {
+		if ev.From < 0 || ev.Dur <= 0 {
+			return fmt.Errorf("rdd: FaultPlan remote outage window [%d, %d+%d) is invalid (From ≥ 0, Dur > 0)", ev.From, ev.From, ev.Dur)
+		}
+	}
+	for _, ev := range p.RemoteSlows {
+		if ev.From < 0 || ev.Dur <= 0 {
+			return fmt.Errorf("rdd: FaultPlan remote slowdown window [%d, %d+%d) is invalid (From ≥ 0, Dur > 0)", ev.From, ev.From, ev.Dur)
+		}
+		if ev.Factor <= 1 {
+			return fmt.Errorf("rdd: FaultPlan remote slowdown at stage %d has factor %g ≤ 1", ev.From, ev.Factor)
+		}
+	}
+	for _, ev := range p.RemoteCorruptions {
+		if ev.Stage < 0 || ev.Block < 0 {
+			return fmt.Errorf("rdd: FaultPlan remote corruption names negative stage %d / block %d", ev.Stage, ev.Block)
 		}
 	}
 	return nil
@@ -238,17 +306,26 @@ const defaultBlacklistBackoff = 30 * simtime.Second
 // events already fired and the per-executor blacklist. The Conf's plan is
 // never mutated, so one plan can drive many contexts.
 type faultState struct {
-	mu           sync.Mutex
-	plan         FaultPlan
-	crashFired   []bool
-	diskFired    []bool
-	stragFired   []bool
-	corruptFired []bool
+	mu                 sync.Mutex
+	plan               FaultPlan
+	crashFired         []bool
+	diskFired          []bool
+	stragFired         []bool
+	corruptFired       []bool
+	slowFired          []bool
+	remoteCorruptFired []bool
 	// downUntil[n] is the virtual time node n's blacklist expires;
 	// strikes[n] counts its crashes (exponential backoff doubles per
 	// strike).
 	downUntil []simtime.Duration
 	strikes   []int
+	// maxStage is the high-water global stage ID seen by fireStageFaults;
+	// remote windows are evaluated against it, so resubmitted recovery
+	// stages (which reuse old IDs) can never re-open a closed window.
+	maxStage int
+	// remoteDown is the outage-window state last applied to the store
+	// (transition edges count degraded windows).
+	remoteDown bool
 }
 
 // newFaultState prepares the per-context bookkeeping for a plan.
@@ -257,13 +334,16 @@ func newFaultState(p *FaultPlan, nodes int) *faultState {
 		return nil
 	}
 	return &faultState{
-		plan:         *p,
-		crashFired:   make([]bool, len(p.Crashes)),
-		diskFired:    make([]bool, len(p.DiskLosses)),
-		stragFired:   make([]bool, len(p.Stragglers)),
-		corruptFired: make([]bool, len(p.Corruptions)),
-		downUntil:    make([]simtime.Duration, nodes),
-		strikes:      make([]int, nodes),
+		plan:               *p,
+		crashFired:         make([]bool, len(p.Crashes)),
+		diskFired:          make([]bool, len(p.DiskLosses)),
+		stragFired:         make([]bool, len(p.Stragglers)),
+		corruptFired:       make([]bool, len(p.Corruptions)),
+		slowFired:          make([]bool, len(p.RemoteSlows)),
+		remoteCorruptFired: make([]bool, len(p.RemoteCorruptions)),
+		downUntil:          make([]simtime.Duration, nodes),
+		strikes:            make([]int, nodes),
+		maxStage:           -1,
 	}
 }
 
@@ -279,6 +359,37 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 	}
 	now := c.Clock()
 	fs.mu.Lock()
+	// Remote-tier windows are driven by the high-water stage ID: update
+	// it, re-evaluate the outage state, and note (once) any slowdown
+	// window this stage enters.
+	if stageID > fs.maxStage {
+		fs.maxStage = stageID
+	}
+	remoteWasDown := fs.remoteDown
+	remoteDown := false
+	for _, ev := range fs.plan.RemoteOutages {
+		if fs.maxStage >= ev.From && fs.maxStage < ev.From+ev.Dur {
+			remoteDown = true
+			break
+		}
+	}
+	fs.remoteDown = remoteDown
+	for i := range fs.plan.RemoteSlows {
+		ev := &fs.plan.RemoteSlows[i]
+		if !fs.slowFired[i] && fs.maxStage >= ev.From && fs.maxStage < ev.From+ev.Dur {
+			fs.slowFired[i] = true
+			c.recm.injectRemoteSlow.Inc()
+		}
+	}
+	var toCorruptRemote []RemoteCorruption
+	for i := range fs.plan.RemoteCorruptions {
+		ev := &fs.plan.RemoteCorruptions[i]
+		if ev.Stage != stageID || fs.remoteCorruptFired[i] {
+			continue
+		}
+		fs.remoteCorruptFired[i] = true
+		toCorruptRemote = append(toCorruptRemote, *ev)
+	}
 	var crashed map[int]bool
 	var toLose []int
 	for i := range fs.plan.Crashes {
@@ -327,13 +438,53 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		toCorrupt = append(toCorrupt, *ev)
 	}
 	fs.mu.Unlock()
+	if c.store != nil && c.store.RemoteAttached() {
+		if remoteDown && !remoteWasDown {
+			// Entering an outage window: one degraded-mode episode begins —
+			// the replication queue parks and recovery falls back to
+			// recompute until the window closes.
+			c.rec.degradedWindows.Add(1)
+			c.recm.degradedWindows.Inc()
+			c.recm.injectRemoteOutage.Inc()
+		}
+		c.store.SetRemoteAvailable(!remoteDown)
+		if !remoteDown {
+			// While the tier is up, every block staged before this stage
+			// boundary is replicated before any of the stage's faults can
+			// lose it — this is what makes restore-vs-recompute decisions
+			// (and therefore the recovery stats) deterministic. A reopened
+			// tier drains the backlog parked during the outage here too.
+			c.store.FlushReplication()
+		}
+	}
 	for _, node := range toLose {
 		c.loseNodeOutputs(node)
 	}
 	for _, ev := range toCorrupt {
 		c.corruptStagedBlock(ev)
 	}
+	for _, ev := range toCorruptRemote {
+		c.corruptRemoteReplica(ev)
+	}
 	return crashed
+}
+
+// remoteSlowFactor returns the active remote-slowdown dilation (≥ 1) at
+// the run's current high-water stage.
+func (c *Context) remoteSlowFactor() float64 {
+	fs := c.faults
+	if fs == nil {
+		return 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := 1.0
+	for _, ev := range fs.plan.RemoteSlows {
+		if fs.maxStage >= ev.From && fs.maxStage < ev.From+ev.Dur && ev.Factor > f {
+			f = ev.Factor
+		}
+	}
+	return f
 }
 
 // nodeDown reports whether a node is blacklisted at the given time.
@@ -432,35 +583,48 @@ func (c *Context) loseNodeOutputs(node int) {
 // registry via recoveryMetrics; these fields power RecoveryStats for
 // tests without scraping.
 type recovery struct {
-	taskRetries     atomic.Int64
-	fetchFailures   atomic.Int64
-	stageResubmits  atomic.Int64
-	recomputedParts atomic.Int64
-	specLaunched    atomic.Int64
-	specWins        atomic.Int64
-	blacklisted     atomic.Int64
-	execCrashes     atomic.Int64
-	diskLosses      atomic.Int64
-	stragglers      atomic.Int64
-	faultKills      atomic.Int64
-	corruptions     atomic.Int64
+	taskRetries      atomic.Int64
+	fetchFailures    atomic.Int64
+	stageResubmits   atomic.Int64
+	recomputedParts  atomic.Int64
+	specLaunched     atomic.Int64
+	specWins         atomic.Int64
+	blacklisted      atomic.Int64
+	execCrashes      atomic.Int64
+	diskLosses       atomic.Int64
+	stragglers       atomic.Int64
+	faultKills       atomic.Int64
+	corruptions      atomic.Int64
+	restoredBlocks   atomic.Int64
+	recomputedBlocks atomic.Int64
+	remoteRetries    atomic.Int64
+	degradedWindows  atomic.Int64
+	remoteCorrupts   atomic.Int64
+	spillStragglers  atomic.Int64
 }
 
 // recoveryMetrics are the pre-resolved registry handles for the recovery
 // counter families (resolved once in NewContext; hot paths only Inc).
 type recoveryMetrics struct {
-	taskRetries     *obs.Counter
-	fetchFailures   *obs.Counter
-	stageResubmits  *obs.Counter
-	recomputedParts *obs.Counter
-	specLaunched    *obs.Counter
-	specWins        *obs.Counter
-	blacklisted     *obs.Counter
-	injectTask      *obs.Counter
-	injectCrash     *obs.Counter
-	injectDisk      *obs.Counter
-	injectStraggler *obs.Counter
-	injectCorrupt   *obs.Counter
+	taskRetries         *obs.Counter
+	fetchFailures       *obs.Counter
+	stageResubmits      *obs.Counter
+	recomputedParts     *obs.Counter
+	specLaunched        *obs.Counter
+	specWins            *obs.Counter
+	blacklisted         *obs.Counter
+	recomputedBlocks    *obs.Counter
+	remoteRetries       *obs.Counter
+	degradedWindows     *obs.Counter
+	spillStragglers     *obs.Counter
+	injectTask          *obs.Counter
+	injectCrash         *obs.Counter
+	injectDisk          *obs.Counter
+	injectStraggler     *obs.Counter
+	injectCorrupt       *obs.Counter
+	injectRemoteOutage  *obs.Counter
+	injectRemoteSlow    *obs.Counter
+	injectRemoteCorrupt *obs.Counter
 }
 
 // newRecoveryMetrics resolves the recovery counter families against a
@@ -475,11 +639,21 @@ func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
 		specLaunched:    reg.Counter("dpspark_speculative_tasks_total", nil),
 		specWins:        reg.Counter("dpspark_speculation_wins_total", nil),
 		blacklisted:     reg.Counter("dpspark_blacklist_placements_total", nil),
-		injectTask:      reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "task"}),
-		injectCrash:     reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "executor-crash"}),
-		injectDisk:      reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "disk-loss"}),
-		injectStraggler: reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "straggler"}),
-		injectCorrupt:   reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "corruption"}),
+		// dpspark_remote_restored_blocks_total is owned (and incremented)
+		// by the store's RestoreFromRemote — no rdd-side handle, so the
+		// family is never double-counted.
+		recomputedBlocks:    reg.Counter("dpspark_remote_recomputed_blocks_total", nil),
+		remoteRetries:       reg.Counter("dpspark_remote_retries_total", nil),
+		degradedWindows:     reg.Counter("dpspark_remote_degraded_windows_total", nil),
+		spillStragglers:     reg.Counter("dpspark_spill_stragglers_total", nil),
+		injectTask:          reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "task"}),
+		injectCrash:         reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "executor-crash"}),
+		injectDisk:          reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "disk-loss"}),
+		injectStraggler:     reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "straggler"}),
+		injectCorrupt:       reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "corruption"}),
+		injectRemoteOutage:  reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-outage"}),
+		injectRemoteSlow:    reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-slow"}),
+		injectRemoteCorrupt: reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-corruption"}),
 	}
 }
 
@@ -509,6 +683,25 @@ type RecoveryStats struct {
 	// damaged a staged block (a corruption with nothing staged is a no-op
 	// and not counted).
 	Corruptions int64
+	// RestoredBlocks counts staged shuffle blocks recovery repaired from
+	// intact remote replicas instead of recomputing their map partition.
+	RestoredBlocks int64
+	// RecomputedBlocks counts staged blocks recovery had to rebuild via
+	// the partial map-recompute fallback (replica missing, corrupt, the
+	// tier down, or the restore retries exhausted).
+	RecomputedBlocks int64
+	// RemoteRetries counts remote restore reads retried after a simulated
+	// timeout (exponential backoff; see Conf.RemoteOpTimeout).
+	RemoteRetries int64
+	// DegradedWindows counts entries into degraded (recompute-only) mode
+	// — one per remote-outage window the run passed through.
+	DegradedWindows int64
+	// RemoteCorruptions counts fired plan remote-corruption events that
+	// actually damaged a replica.
+	RemoteCorruptions int64
+	// SpillStragglers counts tasks dilated by spill-aware scheduling
+	// (Conf.SpillStraggler) because their node was memory-starved.
+	SpillStragglers int64
 }
 
 // RecoveryStats returns the context's failure/recovery counters so far.
@@ -526,5 +719,11 @@ func (c *Context) RecoveryStats() RecoveryStats {
 		Stragglers:              c.rec.stragglers.Load(),
 		FaultKills:              c.rec.faultKills.Load(),
 		Corruptions:             c.rec.corruptions.Load(),
+		RestoredBlocks:          c.rec.restoredBlocks.Load(),
+		RecomputedBlocks:        c.rec.recomputedBlocks.Load(),
+		RemoteRetries:           c.rec.remoteRetries.Load(),
+		DegradedWindows:         c.rec.degradedWindows.Load(),
+		RemoteCorruptions:       c.rec.remoteCorrupts.Load(),
+		SpillStragglers:         c.rec.spillStragglers.Load(),
 	}
 }

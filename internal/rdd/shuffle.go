@@ -275,12 +275,14 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 	}
 }
 
-// recoverShuffle resubmits a shuffle's map stage after a reduce-side
-// fetch failure, recomputing only the lost map partitions — Spark's
-// parent-stage resubmission on FetchFailed. Concurrent failures of the
-// same shuffle serialize on recMu; whoever arrives after a completed
-// recovery (the epoch advanced past the failure's) returns immediately
-// and simply retries its fetch.
+// recoverShuffle repairs a shuffle after a reduce-side fetch failure.
+// Lost map partitions are first restored from intact remote replicas
+// (tryRemoteRestore — every staged block of the partition fetched back
+// verified); only the rest fall into the PR 3 path, resubmitting the
+// map stage to recompute exactly those partitions. Concurrent failures
+// of the same shuffle serialize on recMu; whoever arrives after a
+// completed recovery (the epoch advanced past the failure's) returns
+// immediately and simply retries its fetch.
 func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 	c.mu.Lock()
 	st := c.shuffles[ff.ShuffleID]
@@ -318,10 +320,30 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 	// concurrent reads in the interim still find the lost refs, raise
 	// FetchFailed and serialize behind recMu on the epoch guard above.
 
-	c.rec.stageResubmits.Add(1)
-	c.recm.stageResubmits.Inc()
+	toRecompute := lost
+	if restored := c.tryRemoteRestore(st, lost); len(restored) > 0 {
+		toRecompute = subtractSorted(lost, restored)
+	}
 
-	c.execMapTasks(st, lost)
+	if len(toRecompute) > 0 {
+		c.rec.stageResubmits.Add(1)
+		c.recm.stageResubmits.Inc()
+
+		c.execMapTasks(st, toRecompute)
+
+		if c.store != nil && c.store.RemoteAttached() {
+			// The restore-vs-recompute ledger: staged blocks rebuilt by
+			// the fallback (restored ones were counted in tryRemoteRestore).
+			var blocks int64
+			st.mu.Lock()
+			for _, p := range toRecompute {
+				blocks += int64(st.refsByMap[p])
+			}
+			st.mu.Unlock()
+			c.rec.recomputedBlocks.Add(blocks)
+			c.recm.recomputedBlocks.Add(blocks)
+		}
+	}
 
 	st.mu.Lock()
 	for _, p := range lost {
@@ -333,8 +355,8 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 	st.epoch++
 	st.mu.Unlock()
 
-	c.rec.recomputedParts.Add(int64(len(lost)))
-	c.recm.recomputedParts.Add(int64(len(lost)))
+	c.rec.recomputedParts.Add(int64(len(toRecompute)))
+	c.recm.recomputedParts.Add(int64(len(toRecompute)))
 	return c.Err()
 }
 

@@ -165,13 +165,14 @@ func (c *Context) corruptStagedBlock(ev Corruption) {
 // restarted driver forgets them, as Spark's would — but crash strikes
 // are, so repeated crashes keep doubling the backoff.
 type EngineState struct {
-	NextStage    int    `json:"next_stage"`
-	NextShuffle  int    `json:"next_shuffle"`
-	CrashFired   []bool `json:"crash_fired,omitempty"`
-	DiskFired    []bool `json:"disk_fired,omitempty"`
-	StragFired   []bool `json:"strag_fired,omitempty"`
-	CorruptFired []bool `json:"corrupt_fired,omitempty"`
-	Strikes      []int  `json:"strikes,omitempty"`
+	NextStage          int    `json:"next_stage"`
+	NextShuffle        int    `json:"next_shuffle"`
+	CrashFired         []bool `json:"crash_fired,omitempty"`
+	DiskFired          []bool `json:"disk_fired,omitempty"`
+	StragFired         []bool `json:"strag_fired,omitempty"`
+	CorruptFired       []bool `json:"corrupt_fired,omitempty"`
+	RemoteCorruptFired []bool `json:"remote_corrupt_fired,omitempty"`
+	Strikes            []int  `json:"strikes,omitempty"`
 }
 
 // EngineState snapshots the context's restartable scheduler state for a
@@ -186,6 +187,7 @@ func (c *Context) EngineState() EngineState {
 		es.DiskFired = append([]bool(nil), fs.diskFired...)
 		es.StragFired = append([]bool(nil), fs.stragFired...)
 		es.CorruptFired = append([]bool(nil), fs.corruptFired...)
+		es.RemoteCorruptFired = append([]bool(nil), fs.remoteCorruptFired...)
 		es.Strikes = append([]int(nil), fs.strikes...)
 		fs.mu.Unlock()
 	}
@@ -205,6 +207,7 @@ func (c *Context) restoreEngineState(es *EngineState) {
 		copy(fs.diskFired, es.DiskFired)
 		copy(fs.stragFired, es.StragFired)
 		copy(fs.corruptFired, es.CorruptFired)
+		copy(fs.remoteCorruptFired, es.RemoteCorruptFired)
 		copy(fs.strikes, es.Strikes)
 		fs.mu.Unlock()
 	}
@@ -222,9 +225,10 @@ func validateRestore(es *EngineState, plan *FaultPlan, nodes int) error {
 		}
 		return nil
 	}
-	var crashes, disks, strags, corrupts int
+	var crashes, disks, strags, corrupts, remCorrupts int
 	if plan != nil {
 		crashes, disks, strags, corrupts = len(plan.Crashes), len(plan.DiskLosses), len(plan.Stragglers), len(plan.Corruptions)
+		remCorrupts = len(plan.RemoteCorruptions)
 	}
 	if err := check("CrashFired", len(es.CrashFired), crashes); err != nil {
 		return err
@@ -236,6 +240,9 @@ func validateRestore(es *EngineState, plan *FaultPlan, nodes int) error {
 		return err
 	}
 	if err := check("CorruptFired", len(es.CorruptFired), corrupts); err != nil {
+		return err
+	}
+	if err := check("RemoteCorruptFired", len(es.RemoteCorruptFired), remCorrupts); err != nil {
 		return err
 	}
 	return check("Strikes", len(es.Strikes), nodes)

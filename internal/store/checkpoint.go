@@ -133,6 +133,41 @@ func ListCheckpoints(dir string) []int {
 	return ids
 }
 
+// GCCheckpoints enforces keep-last-K retention on dir's checkpoint
+// files: the newest `keep` checkpoints that pass full verification are
+// retained, and only files strictly older than the oldest retained one
+// are deleted — an older file is never removed before a newer one has
+// verified, so a crash at any point during GC leaves a resumable set.
+// Damaged files newer than the oldest retained checkpoint also survive
+// (for post-mortem; LatestCheckpoint skips them anyway). keep <= 0
+// keeps everything. Returns the ids deleted.
+func GCCheckpoints(dir string, keep int) []int {
+	if keep <= 0 {
+		return nil
+	}
+	ids := ListCheckpoints(dir)
+	intact, oldestKept := 0, -1
+	for i := len(ids) - 1; i >= 0 && intact < keep; i-- {
+		if _, _, err := ReadCheckpoint(dir, ids[i]); err == nil {
+			intact++
+			oldestKept = ids[i]
+		}
+	}
+	if intact < keep || oldestKept < 0 {
+		return nil // fewer intact checkpoints than the retention asks for
+	}
+	var deleted []int
+	for _, id := range ids {
+		if id >= oldestKept {
+			break
+		}
+		if os.Remove(ckptFile(dir, id)) == nil {
+			deleted = append(deleted, id)
+		}
+	}
+	return deleted
+}
+
 // LatestCheckpoint returns the newest checkpoint under dir that passes
 // verification, skipping torn or corrupt files (a crash mid-write leaves
 // only a temp file, but damage after rename is survivable too). ok is

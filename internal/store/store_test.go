@@ -66,6 +66,8 @@ func TestStoreEvictionUnderBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Settle the async spill writer so SpillWall covers every queued write.
+	s.Flush()
 	st := s.Stats()
 	if st.MemBytes > 256 {
 		t.Fatalf("memory tier %d bytes over budget 256", st.MemBytes)

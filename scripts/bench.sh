@@ -10,6 +10,9 @@
 #   BENCH_store.json    — durable block store: checksummed spill + driver
 #                         checkpoint round trips, real-run durability
 #                         overhead and checkpoint–restart cost
+#   BENCH_remote.json   — remote replica tier: replication overhead
+#                         (off vs on) and restore-vs-recompute recovery
+#                         cost under a seeded crash / remote outage
 #
 # Usage:
 #   scripts/bench.sh              # full run (go test default benchtime)
@@ -35,4 +38,9 @@ go test -run '^$' -bench 'BenchmarkRecovery' -benchtime 1x -benchmem . \
 go test -run '^$' -bench 'BenchmarkStore|BenchmarkDurable' -benchtime "$BENCHTIME" -benchmem . \
   | tee /dev/stderr | /tmp/benchjson -o BENCH_store.json
 
-echo "wrote BENCH_kernels.json, BENCH_engine.json, BENCH_recovery.json and BENCH_store.json" >&2
+# Remote-tier recovery is modelled time on a seeded fault plan: one
+# iteration is exact, same as the recovery sweep above.
+go test -run '^$' -bench 'BenchmarkRemote' -benchtime 1x -benchmem . \
+  | tee /dev/stderr | /tmp/benchjson -o BENCH_remote.json
+
+echo "wrote BENCH_kernels.json, BENCH_engine.json, BENCH_recovery.json, BENCH_store.json and BENCH_remote.json" >&2
