@@ -7,6 +7,11 @@
 //
 // The output intentionally carries no timestamp: reruns on the same
 // machine with unchanged performance produce byte-identical files.
+//
+// The diff mode compares two such documents and exits non-zero when any
+// shared benchmark regressed past a tolerance — the CI perf gate:
+//
+//	benchjson diff -tol 0.15 BENCH_engine.json /tmp/new/BENCH_engine.json
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,6 +56,9 @@ type Doc struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -147,4 +157,107 @@ func parseBenchLine(line string) (Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// runDiff implements `benchjson diff [-tol f] old.json new.json`. Shared
+// benchmarks are compared on their most meaningful metric; any regression
+// beyond the tolerance fails the gate (exit 1).
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.15, "max allowed fractional regression (0.15 = 15%)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-tol f] old.json new.json")
+		return 2
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 2
+	}
+	newBy := make(map[string]Result, len(newDoc.Results))
+	for _, r := range newDoc.Results {
+		newBy[r.Name] = r
+	}
+	names := make([]string, 0, len(oldDoc.Results))
+	oldBy := make(map[string]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		if _, ok := newBy[r.Name]; ok {
+			names = append(names, r.Name)
+			oldBy[r.Name] = r
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson diff: no benchmarks in common")
+		return 2
+	}
+	failed := 0
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		metric, ov, nv, lowerBetter := pickMetric(o, n)
+		if metric == "" {
+			fmt.Printf("SKIP  %-50s no comparable metric\n", name)
+			continue
+		}
+		// Regression fraction, positive = worse.
+		var reg float64
+		if lowerBetter {
+			reg = nv/ov - 1
+		} else {
+			reg = ov/nv - 1
+		}
+		if math.IsNaN(reg) || math.IsInf(reg, 0) {
+			reg = 0
+		}
+		verdict := "ok   "
+		if reg > *tol {
+			verdict = "FAIL "
+			failed++
+		}
+		fmt.Printf("%s %-50s %-8s %12.4g -> %12.4g  (%+.1f%%)\n",
+			verdict, name, metric, ov, nv, reg*100)
+	}
+	fmt.Printf("benchjson diff: %d compared, %d regressed beyond %.0f%%\n",
+		len(names), failed, *tol*100)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// pickMetric chooses the comparison metric for a benchmark pair, most
+// meaningful first: the deterministic model_s custom metric (lower is
+// better), then throughput MB/s (higher is better), then wall ns/op
+// (lower is better).
+func pickMetric(o, n Result) (name string, ov, nv float64, lowerBetter bool) {
+	if a, ok := o.Metrics["model_s"]; ok {
+		if b, ok := n.Metrics["model_s"]; ok && a > 0 && b > 0 {
+			return "model_s", a, b, true
+		}
+	}
+	if o.MBPerS > 0 && n.MBPerS > 0 {
+		return "MB/s", o.MBPerS, n.MBPerS, false
+	}
+	if o.NsPerOp > 0 && n.NsPerOp > 0 {
+		return "ns/op", o.NsPerOp, n.NsPerOp, true
+	}
+	return "", 0, 0, false
+}
+
+func loadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
 }

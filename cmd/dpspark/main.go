@@ -60,6 +60,9 @@ func main() {
 	stop := fs.Int("stop", 0, "kill the driver after this many iterations, 0 = run to completion (durable command)")
 	size := fs.Int("size", 512, "problem size of the durable demo run (durable command)")
 	block := fs.Int("block", 128, "tile size of the durable demo run (durable command)")
+	critpath := fs.Bool("critpath", false, "record and report the critical path of every run")
+	listen := fs.String("listen", "", "serve live observability endpoints (/metrics /events /debug/critpath /healthz) on this address")
+	flightOut := fs.String("flight", "", "write the flight-recorder event tail as JSON lines to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -69,6 +72,18 @@ func main() {
 	observer := obs.New()
 	if *traceOut != "" {
 		observer.EnableTrace(true)
+	}
+	if *critpath {
+		observer.EnableCritPath(true)
+	}
+	if *listen != "" {
+		srv, err := obs.ListenAndServe(*listen, observer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpspark:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoints on http://%s (/metrics /events /debug/critpath /healthz)\n", srv.Addr())
 	}
 	experiments.SetObserver(observer)
 
@@ -172,6 +187,7 @@ func main() {
 					Block: 1024, Recursive: true, RShared: 16, Threads: 16}},
 			}
 			rows := make([]report.BreakdownRow, 0, len(cells))
+			var cpRows []report.CriticalPathRow
 			for _, c := range cells {
 				r := experiments.Run(c.cell)
 				if r.Err != nil {
@@ -187,11 +203,17 @@ func main() {
 					ShuffleBytes: st.ShuffleBytes, BroadcastBytes: st.BroadcastBytes,
 					Skew: st.MaxTaskSkew,
 				})
+				if st.CritPath != nil {
+					cpRows = append(cpRows, report.CriticalPathRow{Name: c.name, Path: *st.CritPath})
+				}
 			}
 			t := report.NewBreakdownTable(
 				fmt.Sprintf("FW-APSP phase breakdown (n=%d, critical path)", *n), rows)
 			fmt.Println()
-			return t.Render(os.Stdout)
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			return renderCritPath(fmt.Sprintf("FW-APSP critical path (n=%d)", *n), cpRows)
 		case "chaos":
 			// FW-APSP under a seeded fault plan, per driver: modelled
 			// recovery overhead vs the fault-free run, the fired fault /
@@ -204,6 +226,7 @@ func main() {
 			fmt.Printf("chaos plan (seed %d): %d executor crashes, %d stragglers, %d disk losses over %d planned stages\n\n",
 				*seed, len(plan.Crashes), len(plan.Stragglers), len(plan.DiskLosses), 4*r)
 			rows := make([]report.BreakdownRow, 0, 4)
+			var cpRows []report.CriticalPathRow
 			for _, driver := range []core.DriverKind{core.IM, core.CB} {
 				var cleanS float64
 				for _, faulted := range []bool{false, true} {
@@ -240,6 +263,9 @@ func main() {
 						ShuffleBytes: st.ShuffleBytes, BroadcastBytes: st.BroadcastBytes,
 						Skew: st.MaxTaskSkew,
 					})
+					if st.CritPath != nil {
+						cpRows = append(cpRows, report.CriticalPathRow{Name: name, Path: *st.CritPath})
+					}
 				}
 			}
 			fmt.Println()
@@ -248,7 +274,10 @@ func main() {
 			if htmlReport != nil {
 				htmlReport.AddTable(t)
 			}
-			return t.Render(os.Stdout)
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			return renderCritPath(fmt.Sprintf("FW-APSP critical path (n=%d, seed %d)", *n, *seed), cpRows)
 		case "durable":
 			// An end-to-end durable run on the local cluster model: the
 			// engine stages shuffle buckets and broadcast payloads through
@@ -428,7 +457,22 @@ func main() {
 
 	if err := run(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "dpspark:", err)
+		// A failed run still dumps its flight tail: the last-N events are
+		// the post-mortem the recorder exists for.
+		if *flightOut != "" {
+			if ferr := writeFlight(observer, *flightOut); ferr == nil {
+				fmt.Fprintf(os.Stderr, "dpspark: flight-recorder events written to %s\n", *flightOut)
+			}
+		}
 		os.Exit(1)
+	}
+	if *flightOut != "" {
+		if err := writeFlight(observer, *flightOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dpspark:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("flight-recorder events (%d held, %d dropped) written to %s\n",
+			observer.Flight().Len(), observer.Flight().Dropped(), *flightOut)
 	}
 	if err := exportObservability(observer, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dpspark:", err)
@@ -451,6 +495,33 @@ func main() {
 
 // htmlReport, when non-nil, collects everything rendered for -html.
 var htmlReport *report.HTMLReport
+
+// renderCritPath renders the critical-path table when -critpath
+// collected rows (no-op otherwise).
+func renderCritPath(title string, rows []report.CriticalPathRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t := report.NewCriticalPathTable(title, rows)
+	if htmlReport != nil {
+		htmlReport.AddTable(t)
+	}
+	fmt.Println()
+	return t.Render(os.Stdout)
+}
+
+// writeFlight dumps the observer's flight-recorder ring as JSON lines.
+func writeFlight(o *obs.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Flight().WriteJSONL(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // durableSetup resolves the durable/resume commands' -bench and -driver
 // selectors (meta.Rule / meta.Driver names are accepted too).
@@ -623,5 +694,8 @@ flags: -n <size> (default 32768), -csv <dir>, -v,
        -dir <dir> / -bench fw|ge / -driver im|cb / -budget <bytes> /
        -stop <k> / -size <n> / -block <b> (durable + resume),
        -trace <file> (Chrome trace-event JSON, load in Perfetto),
-       -metrics <file> (Prometheus text dump)`))
+       -metrics <file> (Prometheus text dump),
+       -critpath (per-run critical-path table + gauges),
+       -listen <addr> (live /metrics /events /debug/critpath /healthz),
+       -flight <file> (flight-recorder event tail as JSON lines)`))
 }

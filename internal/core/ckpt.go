@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dpspark/internal/matrix"
+	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/store"
 )
@@ -108,6 +109,11 @@ func (run *runner) persist(parts [][]Block, k int) error {
 	if err := store.WriteCheckpoint(run.cfg.DurableDir, k+1, mj, buf); err != nil {
 		return err
 	}
+	run.ctx.Observer().Flight().Record(obs.Event{
+		Clock: run.ctx.Clock().Seconds(), Type: obs.EvCheckpoint,
+		Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: fmt.Sprintf("iteration %d (%d blocks, %d bytes)", k+1, len(blocks), len(buf)),
+	})
 	if run.cfg.KeepCheckpoints > 0 {
 		// Retention runs only after the new boundary verified (GC re-reads
 		// it); a crash anywhere in here leaves at least the newest K

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/simtime"
 	"dpspark/internal/store"
@@ -65,6 +66,11 @@ type Stats struct {
 	// timeout; DegradedWindows counts entries into recompute-only
 	// degraded mode (one per remote-outage window passed through).
 	RemoteRetries, DegradedWindows int64
+
+	// CritPath is the run's critical-path report (nil unless the
+	// observer's critical-path recorder was enabled for the run). Its Len
+	// equals Time up to virtual-clock float resolution.
+	CritPath *obs.CritPathReport
 }
 
 // RunMark snapshots an engine context before a run so StatsSince can
@@ -94,7 +100,8 @@ func MarkRun(ctx *rdd.Context) RunMark {
 // StatsSince builds the run's Stats from everything the context did since
 // the mark.
 func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
-	elapsed := ctx.Clock() - m.clock
+	now := ctx.Clock()
+	elapsed := now - m.clock
 	bd := ctx.Breakdown().Sub(m.bd)
 	st := ctx.StoreStats()
 	rs := ctx.RecoveryStats()
@@ -108,7 +115,7 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 			}
 		}
 	}
-	return &Stats{
+	s := &Stats{
 		Time:           elapsed,
 		Wall:           time.Since(m.wall),
 		Iterations:     iterations,
@@ -132,4 +139,14 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		RemoteRetries:    rs.RemoteRetries - m.rs.RemoteRetries,
 		DegradedWindows:  rs.DegradedWindows - m.rs.DegradedWindows,
 	}
+	if cp := ctx.Observer().CritPath(); cp.Enabled() {
+		rep := cp.Compute(ctx.TracePid(), m.clock, now)
+		s.CritPath = &rep
+		reg := ctx.Observer().Metrics()
+		for _, p := range obs.CritPhases {
+			reg.Gauge("dpspark_critical_path_seconds", obs.Labels{"phase": p}).Set(rep.Phase(p).Seconds())
+		}
+		reg.Gauge("dpspark_critical_path_seconds", obs.Labels{"phase": "total"}).Set(rep.Len.Seconds())
+	}
+	return s
 }

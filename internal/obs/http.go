@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the observer's scrape mux:
+//
+//	/metrics         Prometheus text exposition of the live registry
+//	/healthz         liveness probe
+//	/events?n=N      flight-recorder tail as JSON lines (default 256)
+//	/debug/critpath  critical-path reports per registered context
+//
+// Every endpoint reads through the same locks the producers write
+// under, so scraping mid-run is race-free and never perturbs the
+// virtual clock or the modelled costs.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Render to a buffer first so a slow client never holds registry
+		// locks and the response is all-or-nothing — the bytes are the
+		// same WritePrometheus dump a post-run export would produce.
+		var buf bytes.Buffer
+		if err := o.Metrics().WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = o.Flight().WriteJSONL(w, n)
+	})
+	mux.HandleFunc("/debug/critpath", func(w http.ResponseWriter, _ *http.Request) {
+		cp := o.CritPath()
+		dump := struct {
+			Enabled bool                      `json:"enabled"`
+			Pids    map[string]CritPathReport `json:"pids"`
+		}{Enabled: cp.Enabled(), Pids: map[string]CritPathReport{}}
+		for _, pid := range cp.Pids() {
+			dump.Pids[strconv.Itoa(pid)] = cp.ComputeAll(pid)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dump)
+	})
+	return mux
+}
+
+// Server is a running observability endpoint listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (e.g. "localhost:9090", ":0" for an
+// ephemeral port) and serves the observer's Handler in the background.
+// The bind itself is synchronous so the caller sees bad addresses
+// immediately; Addr reports the bound address.
+func ListenAndServe(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -55,16 +55,21 @@ type Observer struct {
 	threads map[[2]int]string
 	nextPid int
 
-	reg *Registry
+	reg    *Registry
+	flight *FlightRecorder
+	crit   *CritPathRecorder
 }
 
-// New returns an empty observer: metrics enabled, tracing disabled.
+// New returns an empty observer: metrics and the flight recorder
+// enabled, tracing and critical-path recording disabled.
 func New() *Observer {
 	return &Observer{
 		procs:   make(map[int]string),
 		threads: make(map[[2]int]string),
 		nextPid: 1,
 		reg:     NewRegistry(),
+		flight:  NewFlightRecorder(DefaultFlightCapacity),
+		crit:    newCritPathRecorder(),
 	}
 }
 
@@ -85,6 +90,18 @@ func (o *Observer) TraceEnabled() bool {
 
 // Metrics returns the observer's metrics registry.
 func (o *Observer) Metrics() *Registry { return o.reg }
+
+// Flight returns the observer's always-on flight recorder.
+func (o *Observer) Flight() *FlightRecorder { return o.flight }
+
+// CritPath returns the observer's critical-path recorder.
+func (o *Observer) CritPath() *CritPathRecorder { return o.crit }
+
+// EnableCritPath switches critical-path interval recording on or off.
+func (o *Observer) EnableCritPath(on bool) { o.crit.SetEnabled(on) }
+
+// CritPathEnabled reports whether critical-path intervals are recorded.
+func (o *Observer) CritPathEnabled() bool { return o.crit.Enabled() }
 
 // RegisterProcess allocates a trace process id with the given display
 // name (one per engine context).

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpspark/internal/simtime"
+)
+
+// Observability-plane unit tests: the critical-path walk over a
+// synthetic timeline, histogram quantiles, the flight-recorder ring and
+// the HTTP scrape endpoints.
+
+// TestCritPathSyntheticWalk drives the path computation over a
+// hand-built timeline: a driver segment, a two-branch stage, a gap, a
+// resubmitted stage and a fully-overlapped entry.
+func TestCritPathSyntheticWalk(t *testing.T) {
+	r := newCritPathRecorder()
+	r.SetEnabled(true)
+	const pid = 1
+
+	// [0,2): broadcast segment.
+	r.RecordSegment(pid, CritSegment{Start: 0, End: 2 * simtime.Second, Phase: PhaseBroadcast})
+	// [2,12): stage, makespan branch is node 1 (3 shuffle + 1 shared + 5
+	// compute of which 2 spill = 9); residual overhead 1.
+	r.RecordStage(pid, CritStage{
+		Start: 2 * simtime.Second, End: 12 * simtime.Second,
+		StageID: 0, Tasks: 4, Speculative: 1,
+		Branches: []CritBranch{
+			{Node: 0, ShuffleIO: 1 * simtime.Second, Compute: 2 * simtime.Second},
+			{Node: 1, ShuffleIO: 3 * simtime.Second, SharedIO: 1 * simtime.Second,
+				Compute: 5 * simtime.Second, Spill: 2 * simtime.Second},
+		},
+	})
+	// Entry fully covered by the stage above: must be skipped.
+	r.RecordSegment(pid, CritSegment{Start: 3 * simtime.Second, End: 4 * simtime.Second, Phase: PhaseCompute})
+	// [12,13): uncovered gap. [13,16): resubmitted attempt → recovery.
+	r.RecordStage(pid, CritStage{
+		Start: 13 * simtime.Second, End: 16 * simtime.Second,
+		StageID: 0, Attempt: 1, Tasks: 1,
+		Branches: []CritBranch{{Node: 1, Compute: 3 * simtime.Second}},
+	})
+
+	rep := r.Compute(pid, 0, 16*simtime.Second)
+	want := map[string]simtime.Duration{
+		PhaseBroadcast: 3 * simtime.Second, // 2 segment + 1 shared I/O
+		PhaseShuffle:   3 * simtime.Second,
+		PhaseSpill:     2 * simtime.Second,
+		PhaseCompute:   3 * simtime.Second, // 5 − 2 spill
+		PhaseOverhead:  1 * simtime.Second, // 10 − 9 makespan
+		PhaseRecovery:  3 * simtime.Second,
+	}
+	for p, d := range want {
+		if got := rep.Phase(p); got != d {
+			t.Errorf("phase %s = %v, want %v", p, got, d)
+		}
+	}
+	if rep.Len != 15*simtime.Second {
+		t.Errorf("Len = %v, want 15s", rep.Len)
+	}
+	if rep.Unattributed != 1*simtime.Second {
+		t.Errorf("Unattributed = %v, want the 1s gap", rep.Unattributed)
+	}
+	if rep.Stages != 2 || rep.RecoveryStages != 1 || rep.Segments != 1 || rep.Speculative != 1 {
+		t.Errorf("counts = %d stages / %d recovery / %d segments / %d spec, want 2/1/1/1",
+			rep.Stages, rep.RecoveryStages, rep.Segments, rep.Speculative)
+	}
+
+	// ComputeAll spans the recorded timeline exactly.
+	all := r.ComputeAll(pid)
+	if all.Len != rep.Len || all.Unattributed != rep.Unattributed {
+		t.Errorf("ComputeAll = %v/%v, want %v/%v", all.Len, all.Unattributed, rep.Len, rep.Unattributed)
+	}
+
+	// A window restricted to the recovery attempt sees only it.
+	tail := r.Compute(pid, 13*simtime.Second, 16*simtime.Second)
+	if tail.Len != 3*simtime.Second || tail.RecoveryStages != 1 || tail.Unattributed != 0 {
+		t.Errorf("tail window = %+v, want pure 3s recovery", tail)
+	}
+}
+
+// TestCritPathDisabled: the recorder is opt-in — nothing is retained
+// while off, and Compute reports the whole window as unattributed.
+func TestCritPathDisabled(t *testing.T) {
+	r := newCritPathRecorder()
+	r.RecordSegment(1, CritSegment{Start: 0, End: simtime.Second, Phase: PhaseCompute})
+	r.RecordStage(1, CritStage{Start: 0, End: simtime.Second})
+	rep := r.Compute(1, 0, simtime.Second)
+	if rep.Len != 0 || rep.Unattributed != simtime.Second {
+		t.Errorf("disabled recorder attributed time: %+v", rep)
+	}
+	if len(r.Pids()) != 0 {
+		t.Errorf("disabled recorder retained pids: %v", r.Pids())
+	}
+}
+
+// TestHistogramQuantile pins the Prometheus-style interpolation and its
+// edge cases.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+
+	// Bounds 1, 2, 4; samples land one per bucket plus one overflow.
+	h := reg.Histogram("q_main", nil, ExpBuckets(1, 2, 3))
+	for _, v := range []float64{0.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.125, 0.5}, // first bucket interpolates from 0
+		{0.25, 1},
+		{0.5, 2}, // exact bucket boundary
+		{0.9, 4}, // rank in +Inf bucket clamps to highest finite bound
+		{1.0, 4}, // same
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Out-of-range q.
+	if got := h.Quantile(-0.1); !math.IsInf(got, -1) {
+		t.Errorf("Quantile(-0.1) = %v, want -Inf", got)
+	}
+	if got := h.Quantile(1.1); !math.IsInf(got, +1) {
+		t.Errorf("Quantile(1.1) = %v, want +Inf", got)
+	}
+
+	// Empty histogram.
+	empty := reg.Histogram("q_empty", nil, ExpBuckets(1, 2, 3))
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+
+	// Single finite bucket.
+	single := reg.Histogram("q_single", nil, []float64{10})
+	single.Observe(5)
+	single.Observe(20)
+	if got := single.Quantile(0.25); got != 5 {
+		t.Errorf("single-bucket Quantile(0.25) = %v, want 5", got)
+	}
+	if got := single.Quantile(0.75); got != 10 {
+		t.Errorf("single-bucket Quantile(0.75) = %v, want clamp to 10", got)
+	}
+
+	// Only the implicit +Inf bucket: no finite bound to report.
+	onlyInf := reg.Histogram("q_inf", nil, nil)
+	onlyInf.Observe(1)
+	if got := onlyInf.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("+Inf-only Quantile = %v, want NaN", got)
+	}
+}
+
+// TestFlightRecorderRing: wrap-around, sequence numbers, drop counting,
+// Tail and clock stamping.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	clock := simtime.Duration(0)
+	f.SetClockSource(func() simtime.Duration { return clock })
+
+	for i := 0; i < 6; i++ {
+		clock = simtime.Duration(i) * simtime.Second
+		f.Record(Event{Clock: -1, Type: EvStageSubmit, Stage: i, Attempt: 0, Part: -1, Node: -1, Shuffle: -1})
+	}
+	if f.Len() != 4 {
+		t.Errorf("Len = %d, want ring capacity 4", f.Len())
+	}
+	if f.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", f.Dropped())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d events, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		wantSeq := uint64(i + 2) // oldest two overwritten
+		if ev.Seq != wantSeq || ev.Stage != i+2 {
+			t.Errorf("snap[%d] = seq %d stage %d, want seq %d stage %d", i, ev.Seq, ev.Stage, wantSeq, i+2)
+		}
+		if ev.Clock != float64(i+2) {
+			t.Errorf("snap[%d] clock = %v, want stamped %v", i, ev.Clock, i+2)
+		}
+	}
+	tail := f.Tail(2)
+	if len(tail) != 2 || tail[0].Seq != 4 || tail[1].Seq != 5 {
+		t.Errorf("Tail(2) = %+v, want seqs 4,5 oldest-first", tail)
+	}
+	if got := f.Tail(100); len(got) != 4 {
+		t.Errorf("oversized Tail = %d events, want all 4", len(got))
+	}
+
+	// An explicit clock stamp is preserved verbatim.
+	f.Record(Event{Clock: 42.5, Type: EvFault, Stage: -1, Part: -1, Node: -1, Shuffle: -1})
+	last := f.Tail(1)[0]
+	if last.Clock != 42.5 {
+		t.Errorf("explicit clock = %v, want 42.5", last.Clock)
+	}
+
+	// JSONL round-trip: every line decodes back to the source event.
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL has %d lines, want 4", len(lines))
+	}
+	var back Event
+	if err := json.Unmarshal([]byte(lines[3]), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != last {
+		t.Errorf("JSONL round-trip drifted: %+v vs %+v", back, last)
+	}
+}
+
+// buildFixedRegistry populates a registry with a deterministic mix of
+// every metric type for the exposition-format golden test.
+func buildFixedRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("dpspark_stage_total", Labels{"kind": "update"}).Add(7)
+	reg.Counter("dpspark_stage_total", Labels{"kind": "result"}).Add(3)
+	reg.Gauge("dpspark_critical_path_seconds", Labels{"phase": "compute"}).Set(12.5)
+	reg.Gauge("dpspark_critical_path_seconds", Labels{"phase": "total"}).Set(20)
+	h := reg.Histogram("dpspark_task_seconds", nil, ExpBuckets(0.5, 2, 3))
+	for _, v := range []float64{0.25, 0.75, 3} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestPrometheusGolden pins WritePrometheus output byte-for-byte: the
+// exposition format is an interface CI and dashboards parse, so drift
+// must be deliberate (-update regenerates).
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("prometheus exposition drifted from golden file:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := buildFixedRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+// TestHTTPEndpoints exercises every scrape route against a populated
+// observer: the live /metrics bytes must equal a direct WritePrometheus
+// dump, /events must serve well-formed JSON lines, and /debug/critpath
+// must expose the per-context reports.
+func TestHTTPEndpoints(t *testing.T) {
+	o := New()
+	o.EnableCritPath(true)
+	o.Metrics().Counter("dpspark_stage_total", Labels{"kind": "update"}).Add(2)
+	o.Metrics().Gauge("dpspark_clock_seconds", nil).Set(3.5)
+	o.Flight().Record(Event{Clock: 1, Type: EvStageSubmit, Stage: 0, Part: -1, Node: -1, Shuffle: -1})
+	o.Flight().Record(Event{Clock: 2, Type: EvStageComplete, Stage: 0, Part: -1, Node: -1, Shuffle: -1})
+	o.CritPath().RecordStage(7, CritStage{
+		Start: 0, End: 2 * simtime.Second, Tasks: 1,
+		Branches: []CritBranch{{Compute: 2 * simtime.Second}},
+	})
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), body.String()
+	}
+
+	if code, _, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics = %d, content-type %q", code, ctype)
+	}
+	var direct bytes.Buffer
+	if err := o.Metrics().WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if body != direct.String() {
+		t.Errorf("live /metrics differs from WritePrometheus dump:\n%s\nvs\n%s", body, direct.String())
+	}
+
+	code, ctype, body = get("/events?n=1")
+	if code != http.StatusOK || ctype != "application/x-ndjson" {
+		t.Errorf("/events = %d, content-type %q", code, ctype)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &ev); err != nil {
+		t.Fatalf("/events line is not JSON: %v\n%s", err, body)
+	}
+	if ev.Type != EvStageComplete {
+		t.Errorf("/events?n=1 returned %q, want newest event %q", ev.Type, EvStageComplete)
+	}
+	if code, _, _ := get("/events?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/events?n=bogus = %d, want 400", code)
+	}
+
+	code, ctype, body = get("/debug/critpath")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Errorf("/debug/critpath = %d, content-type %q", code, ctype)
+	}
+	var dump struct {
+		Enabled bool                      `json:"enabled"`
+		Pids    map[string]CritPathReport `json:"pids"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/critpath is not JSON: %v\n%s", err, body)
+	}
+	if !dump.Enabled {
+		t.Error("/debug/critpath reports disabled")
+	}
+	rep, ok := dump.Pids["7"]
+	if !ok || rep.Len != 2*simtime.Second || rep.Phase(PhaseCompute) != 2*simtime.Second {
+		t.Errorf("/debug/critpath pid 7 = %+v (present %v), want 2s compute", rep, ok)
+	}
+}
+
+// TestListenAndServe: the real listener binds, serves and closes.
+func TestListenAndServe(t *testing.T) {
+	o := New()
+	srv, err := ListenAndServe("localhost:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz over real listener = %d", resp.StatusCode)
+	}
+	if _, err := ListenAndServe("256.256.256.256:0", o); err == nil {
+		t.Error("bad bind address must error synchronously")
+	}
+}

@@ -397,6 +397,7 @@ func NewContext(conf Conf) *Context {
 		st, err := store.Open(conf.DurableDir, store.Options{
 			MemoryBudget: conf.MemoryBudget,
 			Registry:     conf.Observer.Metrics(),
+			Flight:       conf.Observer.Flight(),
 		})
 		if err != nil {
 			panic(err)
@@ -418,6 +419,10 @@ func NewContext(conf Conf) *Context {
 		c.restoreEngineState(conf.Restore)
 	}
 	c.recm = newRecoveryMetrics(conf.Observer.Metrics())
+	// Flight-recorder events without an explicit timestamp stamp the
+	// virtual clock; with several sequential contexts on one observer the
+	// latest context's clock wins, matching the events being recorded.
+	c.obsv.Flight().SetClockSource(c.Clock)
 	c.pid = c.obsv.RegisterProcess(fmt.Sprintf("dpspark %s×%d", conf.Cluster, conf.ExecutorCores))
 	c.obsv.NameThread(c.pid, 0, "driver")
 	return c
@@ -520,7 +525,29 @@ func (c *Context) recordTaskErr(err error) {
 // movement, local-disk charges are shuffle I/O, the rest splits between
 // compute and overhead.
 func (c *Context) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
-	c.simul.AdvanceDriver(d, cat)
+	c.advanceDriver(d, cat, critPhaseOf(cat))
+}
+
+// critPhaseOf maps a ledger category to the critical-path phase driver
+// advances under it belong to — mirroring the breakdown attribution.
+func critPhaseOf(cat simtime.Category) string {
+	switch cat {
+	case simtime.Network, simtime.SharedFS:
+		return obs.PhaseBroadcast
+	case simtime.LocalDisk:
+		return obs.PhaseShuffle
+	case simtime.Compute:
+		return obs.PhaseCompute
+	default:
+		return obs.PhaseOverhead
+	}
+}
+
+// advanceDriver is AdvanceDriver with an explicit critical-path phase,
+// so recovery paths can charge standard breakdown categories while the
+// profiler attributes the advance to recovery.
+func (c *Context) advanceDriver(d simtime.Duration, cat simtime.Category, critPhase string) {
+	start, end := c.simul.Advance(d, cat)
 	c.mu.Lock()
 	switch cat {
 	case simtime.Network, simtime.SharedFS:
@@ -533,6 +560,11 @@ func (c *Context) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
 		c.bd.Overhead += d
 	}
 	c.mu.Unlock()
+	if cp := c.obsv.CritPath(); cp.Enabled() {
+		cp.RecordSegment(c.pid, obs.CritSegment{
+			Start: start, End: end, Phase: critPhase, Name: string(cat),
+		})
+	}
 }
 
 // addBroadcastBytes accounts driver-staged broadcast payload bytes.
@@ -643,6 +675,12 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	asOf := c.Clock()
 	spillNode := c.spillStragglerNode()
 	parts := spec.parts
+	c.obsv.Flight().Record(obs.Event{
+		Clock: asOf.Seconds(), Type: obs.EvStageSubmit,
+		Stage: stageID, Attempt: spec.attempt, Part: -1, Node: -1,
+		Shuffle: spec.shuffleID,
+		Detail:  fmt.Sprintf("%s tasks=%d phase=%s", spec.kind, parts, spec.phase),
+	})
 
 	tcs := make([]*TaskContext, parts)
 	// runOne executes one task with Spark-style retries: an injected
@@ -708,6 +746,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 					// duration and fires copies elsewhere.
 					extra := simtime.Duration(tc.compute.Seconds() * (c.conf.SpillStraggler - 1))
 					tc.slowed += extra
+					tc.spillSlow = extra
 					tc.compute += extra
 					c.rec.spillStragglers.Add(1)
 					c.recm.spillStragglers.Inc()
@@ -723,6 +762,11 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 			if ff != nil {
 				c.rec.fetchFailures.Add(1)
 				c.recm.fetchFailures.Inc()
+				c.obsv.Flight().Record(obs.Event{
+					Clock: -1, Type: obs.EvFetchFailure,
+					Stage: stageID, Attempt: spec.attempt, Part: split,
+					Node: ff.Node, Shuffle: ff.ShuffleID,
+				})
 				if rerr := c.recoverShuffle(ff); rerr != nil {
 					c.recordTaskErr(rerr)
 					return
@@ -736,6 +780,11 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 			}
 			c.rec.taskRetries.Add(1)
 			c.recm.taskRetries.Inc()
+			c.obsv.Flight().Record(obs.Event{
+				Clock: -1, Type: obs.EvTaskRetry,
+				Stage: stageID, Attempt: spec.attempt, Part: split,
+				Node: tc.Node, Shuffle: -1, Detail: err.Error(),
+			})
 		}
 	}
 
@@ -801,6 +850,40 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	c.bd.ShuffleFetchBytes += fetch
 	c.bd.BroadcastBytes += shared
 	c.mu.Unlock()
+
+	if cp := c.obsv.CritPath(); cp.Enabled() {
+		// Per-node spill dilation, so the profiler can split the critical
+		// branch's compute into healthy compute vs spill backpressure.
+		spillSlow := make([]simtime.Duration, len(rep.NodeCompute))
+		for _, tc := range tcs {
+			if tc.spillSlow > 0 && tc.Node >= 0 && tc.Node < len(spillSlow) {
+				spillSlow[tc.Node] += tc.spillSlow
+			}
+		}
+		branches := make([]obs.CritBranch, 0, 4)
+		for n := range rep.NodeCompute {
+			comp, sh, sf := rep.NodeCompute[n], rep.NodeShuffleIO[n], rep.NodeSharedIO[n]
+			if comp == 0 && sh == 0 && sf == 0 {
+				continue
+			}
+			branches = append(branches, obs.CritBranch{
+				Node: n, ShuffleIO: sh, SharedIO: sf, Compute: comp, Spill: spillSlow[n],
+			})
+		}
+		cp.RecordStage(c.pid, obs.CritStage{
+			Start: rep.Start, End: rep.Start + rep.Total,
+			StageID: stageID, Attempt: spec.attempt,
+			Kind: spec.kind.String(), Phase: spec.phase,
+			Tasks: parts, Speculative: len(tasks) - parts,
+			Branches: branches,
+		})
+	}
+	c.obsv.Flight().Record(obs.Event{
+		Clock: (rep.Start + rep.Total).Seconds(), Type: obs.EvStageComplete,
+		Stage: stageID, Attempt: spec.attempt, Part: -1, Node: -1,
+		Shuffle: spec.shuffleID,
+		Detail:  fmt.Sprintf("%s dur=%s tasks=%d", spec.kind, rep.Total, len(tasks)),
+	})
 
 	skew := 0.0
 	if rep.MeanTask > 0 {
@@ -919,6 +1002,11 @@ func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.D
 			c.rec.specWins.Add(1)
 			c.recm.specWins.Inc()
 		}
+		c.obsv.Flight().Record(obs.Event{
+			Clock: asOf.Seconds(), Type: obs.EvSpeculation,
+			Stage: tc.StageID, Part: tc.Partition, Node: copyNode, Shuffle: -1,
+			Detail: fmt.Sprintf("copy of node %d task (slowed %s)", tc.Node, tc.slowed),
+		})
 		tasks[i].Compute = winner
 		// The copy re-runs the task's compute on another executor until
 		// the winner finishes; its shuffle I/O stays with the original

@@ -417,6 +417,11 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		toLose = append(toLose, ev.Node)
 		c.rec.execCrashes.Add(1)
 		c.recm.injectCrash.Inc()
+		c.obsv.Flight().Record(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvFault,
+			Stage: stageID, Part: -1, Node: ev.Node, Shuffle: -1,
+			Detail: "executor-crash",
+		})
 	}
 	for i := range fs.plan.DiskLosses {
 		ev := &fs.plan.DiskLosses[i]
@@ -427,6 +432,11 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		toLose = append(toLose, ev.Node)
 		c.rec.diskLosses.Add(1)
 		c.recm.injectDisk.Inc()
+		c.obsv.Flight().Record(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvFault,
+			Stage: stageID, Part: -1, Node: ev.Node, Shuffle: -1,
+			Detail: "disk-loss",
+		})
 	}
 	var toCorrupt []Corruption
 	for i := range fs.plan.Corruptions {
@@ -446,6 +456,11 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 			c.rec.degradedWindows.Add(1)
 			c.recm.degradedWindows.Inc()
 			c.recm.injectRemoteOutage.Inc()
+			c.obsv.Flight().Record(obs.Event{
+				Clock: now.Seconds(), Type: obs.EvFault,
+				Stage: stageID, Part: -1, Node: -1, Shuffle: -1,
+				Detail: "remote-outage-enter",
+			})
 		}
 		c.store.SetRemoteAvailable(!remoteDown)
 		if !remoteDown {
@@ -512,6 +527,11 @@ func (c *Context) placeNode(split int, asOf simtime.Duration) int {
 		if !c.nodeDown(n, asOf) {
 			c.rec.blacklisted.Add(1)
 			c.recm.blacklisted.Inc()
+			c.obsv.Flight().Record(obs.Event{
+				Clock: asOf.Seconds(), Type: obs.EvBlacklist,
+				Stage: -1, Part: split, Node: n, Shuffle: -1,
+				Detail: fmt.Sprintf("home node %d blacklisted", home),
+			})
 			return n
 		}
 	}

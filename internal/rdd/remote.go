@@ -1,6 +1,9 @@
 package rdd
 
 import (
+	"fmt"
+
+	"dpspark/internal/obs"
 	"dpspark/internal/simtime"
 )
 
@@ -120,6 +123,11 @@ func (c *Context) tryRemoteRestore(st *shuffleState, lost []int) []int {
 		}
 		restored = append(restored, p)
 		c.rec.restoredBlocks.Add(int64(len(blocks)))
+		c.obsv.Flight().Record(obs.Event{
+			Clock: -1, Type: obs.EvRestore,
+			Stage: -1, Part: p, Node: -1, Shuffle: st.dep.id,
+			Detail: fmt.Sprintf("restored %d staged blocks from remote replicas", len(blocks)),
+		})
 	}
 	return restored
 }
@@ -163,7 +171,7 @@ func (c *Context) restoreBlock(key string, bytes int64) bool {
 // operation, attributed as shared-storage traffic and mirrored into the
 // Recovery overlap (restore time IS failure-repair time).
 func (c *Context) chargeRestore(d simtime.Duration) {
-	c.AdvanceDriver(d, simtime.SharedFS)
+	c.advanceDriver(d, simtime.SharedFS, obs.PhaseRecovery)
 	c.mu.Lock()
 	c.bd.Recovery += d
 	c.mu.Unlock()

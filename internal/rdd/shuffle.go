@@ -3,6 +3,8 @@ package rdd
 import (
 	"fmt"
 	"sync"
+
+	"dpspark/internal/obs"
 )
 
 // Shuffle staging buffers churn fast: every map task builds a bucket map
@@ -328,6 +330,11 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 	if len(toRecompute) > 0 {
 		c.rec.stageResubmits.Add(1)
 		c.recm.stageResubmits.Inc()
+		c.obsv.Flight().Record(obs.Event{
+			Clock: -1, Type: obs.EvStageResubmit,
+			Stage: -1, Part: -1, Node: -1, Shuffle: ff.ShuffleID,
+			Detail: fmt.Sprintf("recompute %d lost map partitions", len(toRecompute)),
+		})
 
 		c.execMapTasks(st, toRecompute)
 

@@ -21,7 +21,11 @@ type TaskContext struct {
 	// slowed is the portion of compute injected by a FaultPlan straggler;
 	// speculative execution subtracts it to estimate the task's healthy
 	// duration on another executor.
-	slowed      simtime.Duration
+	slowed simtime.Duration
+	// spillSlow is the part of slowed injected by spill-aware scheduling
+	// (memory-starved node dilation); the critical-path profiler reports
+	// it as spill time rather than compute.
+	spillSlow   simtime.Duration
 	threads     int
 	idleThreads int
 	sharedRead  int64

@@ -124,6 +124,14 @@ type StageReport struct {
 	MaxTask, MeanTask simtime.Duration
 	// NodeIO is each node's I/O time (zero for idle nodes).
 	NodeIO []simtime.Duration
+	// NodeCompute, NodeShuffleIO and NodeSharedIO are every node's time
+	// decomposition (not just the critical node's): the critical-path
+	// profiler re-derives the makespan branch from these, so they use the
+	// same values — and the same float-op grouping — as the makespan
+	// comparison below.
+	NodeCompute   []simtime.Duration
+	NodeShuffleIO []simtime.Duration
+	NodeSharedIO  []simtime.Duration
 	// Tasks is the per-task lane schedule for tracing.
 	Tasks []TaskSpan
 }
@@ -162,10 +170,21 @@ func (s *Sim) TimedOut() bool { return s.Now() > Timeout }
 
 // AdvanceDriver charges driver-side time (collect/broadcast, scheduling).
 func (s *Sim) AdvanceDriver(d simtime.Duration, cat simtime.Category) {
+	s.Advance(d, cat)
+}
+
+// Advance charges driver-side time like AdvanceDriver and returns the
+// clock readings immediately before and after the advance, so callers
+// recording the segment (the critical-path profiler) see bit-exact
+// boundaries.
+func (s *Sim) Advance(d simtime.Duration, cat simtime.Category) (start, end simtime.Duration) {
 	s.mu.Lock()
+	start = s.Clock
 	s.Clock += d
+	end = s.Clock
 	s.mu.Unlock()
 	s.Ledger.Add(cat, d)
+	return start, end
 }
 
 // AcquireShuffle re-stages shuffle bytes on a node outside a stage run —
@@ -245,9 +264,12 @@ func (s *Sim) RunStageReport(tasks []Task) StageReport {
 	}
 
 	rep := StageReport{
-		Start:  s.Clock,
-		NodeIO: make([]simtime.Duration, nodes),
-		Tasks:  make([]TaskSpan, 0, len(tasks)),
+		Start:         s.Clock,
+		NodeIO:        make([]simtime.Duration, nodes),
+		NodeCompute:   make([]simtime.Duration, nodes),
+		NodeShuffleIO: make([]simtime.Duration, nodes),
+		NodeSharedIO:  make([]simtime.Duration, nodes),
+		Tasks:         make([]TaskSpan, 0, len(tasks)),
 	}
 	var rawSum simtime.Duration
 	var makespan simtime.Duration
@@ -374,6 +396,9 @@ func (s *Sim) RunStageReport(tasks []Task) StageReport {
 		// share of the node's fluid compute window, lanes starting after
 		// the node's serial I/O (matching the model's io + compute order).
 		rep.NodeIO[n] = io
+		rep.NodeCompute[n] = compute
+		rep.NodeShuffleIO[n] = shuffleIO
+		rep.NodeSharedIO[n] = sharedIO
 		lanes := s.ExecCores
 		if busyTasks > 0 && busyTasks < lanes {
 			lanes = busyTasks

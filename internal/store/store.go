@@ -83,6 +83,9 @@ type Options struct {
 	// and, once a remote tier is attached, the dpspark_remote_* families.
 	// Nil is fine; the store keeps its own Stats either way.
 	Registry *obs.Registry
+	// Flight, when non-nil, receives structured eviction / replication /
+	// corruption-detection events for the engine's flight recorder.
+	Flight *obs.FlightRecorder
 }
 
 // Stats is a point-in-time snapshot of the store.
@@ -163,6 +166,7 @@ type Store struct {
 	repWorker  bool
 
 	reg        *obs.Registry
+	flight     *obs.FlightRecorder
 	spilled    *obs.Counter
 	evicted    *obs.Counter
 	corrupted  *obs.Counter
@@ -188,6 +192,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		blocks: make(map[string]*entry),
 		lru:    list.New(),
 		reg:    opts.Registry,
+		flight: opts.Flight,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if opts.Registry != nil {
@@ -200,6 +205,21 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Dir returns the directory the store spills into.
 func (s *Store) Dir() string { return s.dir }
+
+// recordFlight emits one flight-recorder event for a block, stamping
+// the engine's virtual clock via the recorder's clock source. Safe to
+// call with s.mu held: the recorder's clock source reads the simulator
+// clock, and the simulator never calls back into the store.
+func (s *Store) recordFlight(typ, key string) {
+	if s.flight == nil {
+		return
+	}
+	s.flight.Record(obs.Event{
+		Clock: -1, Type: typ,
+		Stage: -1, Attempt: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: key,
+	})
+}
 
 // Put stores data under key, replacing any previous block. The slice is
 // retained; callers must not mutate it afterwards. The insert lands in
@@ -255,6 +275,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 			if s.corrupted != nil {
 				s.corrupted.Inc()
 			}
+			s.recordFlight(obs.EvCorrupt, key)
 		}
 		return nil, err
 	}
@@ -417,6 +438,7 @@ func (s *Store) evictLocked() error {
 		if s.evicted != nil {
 			s.evicted.Inc()
 		}
+		s.recordFlight(obs.EvEviction, e.key)
 		if len(s.spillQ) < asyncSpillCap {
 			s.enqueueSpillLocked(e)
 		} else if err := s.spillLocked(e); err != nil {

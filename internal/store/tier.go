@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dpspark/internal/obs"
 )
 
 // Tier is the interface seam for a shared, *remote* block tier behind
@@ -230,6 +232,7 @@ func (s *Store) RestoreFromRemote(key string) (int64, error) {
 				s.remoteBad.Inc()
 			}
 			s.mu.Unlock()
+			s.recordFlight(obs.EvCorrupt, "remote:"+key)
 		}
 		return 0, err
 	}
@@ -335,6 +338,7 @@ func (s *Store) repWorkerLoop() {
 			if s.replicated != nil {
 				s.replicated.Inc()
 			}
+			s.recordFlight(obs.EvReplication, key)
 		}
 		s.cond.Broadcast()
 	}
