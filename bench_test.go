@@ -325,6 +325,30 @@ func BenchmarkKernelIterative(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelParallel measures the row-band parallel split of the
+// full-range kind-D update across pool widths — the intra-tile
+// KernelThreads path the executors run. t1 is LoopPool's serial
+// fall-through, so t<k>/t1 is the measured speedup of k kernel threads
+// (bit-identical results by construction; on a single-core machine the
+// ratio hovers at 1).
+func BenchmarkKernelParallel(b *testing.B) {
+	for _, size := range []int{256, 512, 1024} {
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run("D/"+itoa(size)+"/t"+itoa(threads), func(b *testing.B) {
+				rule := semiring.NewFloydWarshall()
+				x, u, v, w := randomTiles(size)
+				exec := kernels.NewIterative(rule)
+				pool := kernels.NewPool(threads)
+				b.SetBytes(int64(size) * int64(size) * int64(size) * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					exec.ApplyWith(pool, semiring.KindD, x, u, v, w)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelRecursive measures the r-way R-DP kernels across
 // fan-outs and worker threads.
 func BenchmarkKernelRecursive(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -159,15 +160,70 @@ func parseBenchLine(line string) (Result, error) {
 	return r, nil
 }
 
-// runDiff implements `benchjson diff [-tol f] old.json new.json`. Shared
-// benchmarks are compared on their most meaningful metric; any regression
-// beyond the tolerance fails the gate (exit 1).
+// tolMatchFlag is the repeatable -tolmatch flag: each value is
+// "regex=frac", and a benchmark whose name matches the regex is gated at
+// that tolerance instead of -tol (the last matching override wins). This
+// lets one CI invocation hold mature benchmarks tight while giving
+// known-noisy or newly-landed families headroom:
+//
+//	benchjson diff -tol 0.15 -tolmatch 'KernelParallel/=0.75' old.json new.json
+type tolMatchFlag []tolMatch
+
+type tolMatch struct {
+	re  *regexp.Regexp
+	tol float64
+}
+
+func (f *tolMatchFlag) String() string {
+	parts := make([]string, len(*f))
+	for i, m := range *f {
+		parts[i] = fmt.Sprintf("%s=%g", m.re, m.tol)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *tolMatchFlag) Set(s string) error {
+	eq := strings.LastIndex(s, "=")
+	if eq <= 0 {
+		return fmt.Errorf("tolmatch %q: want regex=frac", s)
+	}
+	re, err := regexp.Compile(s[:eq])
+	if err != nil {
+		return fmt.Errorf("tolmatch %q: %w", s, err)
+	}
+	tol, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || tol < 0 {
+		return fmt.Errorf("tolmatch %q: bad tolerance", s)
+	}
+	*f = append(*f, tolMatch{re, tol})
+	return nil
+}
+
+// tolFor returns the effective tolerance for a benchmark name.
+func (f tolMatchFlag) tolFor(name string, def float64) float64 {
+	tol := def
+	for _, m := range f {
+		if m.re.MatchString(name) {
+			tol = m.tol
+		}
+	}
+	return tol
+}
+
+// runDiff implements `benchjson diff [-tol f] [-tolmatch re=f]... old.json
+// new.json`. Shared benchmarks are compared on their most meaningful
+// metric and any regression beyond the effective tolerance fails the gate
+// (exit 1). Benchmarks present only in the new run are reported as NEW —
+// a baseline that predates them must not read them as regressions — and
+// ones that vanished are reported GONE; neither affects the exit code.
 func runDiff(args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	tol := fs.Float64("tol", 0.15, "max allowed fractional regression (0.15 = 15%)")
+	var overrides tolMatchFlag
+	fs.Var(&overrides, "tolmatch", "per-name tolerance override regex=frac (repeatable, last match wins)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-tol f] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-tol f] [-tolmatch re=f]... old.json new.json")
 		return 2
 	}
 	oldDoc, err := loadDoc(fs.Arg(0))
@@ -181,24 +237,36 @@ func runDiff(args []string) int {
 		return 2
 	}
 	newBy := make(map[string]Result, len(newDoc.Results))
+	newNames := make([]string, 0, len(newDoc.Results))
 	for _, r := range newDoc.Results {
 		newBy[r.Name] = r
+		newNames = append(newNames, r.Name)
 	}
-	names := make([]string, 0, len(oldDoc.Results))
 	oldBy := make(map[string]Result, len(oldDoc.Results))
+	var shared, gone []string
 	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
 		if _, ok := newBy[r.Name]; ok {
-			names = append(names, r.Name)
-			oldBy[r.Name] = r
+			shared = append(shared, r.Name)
+		} else {
+			gone = append(gone, r.Name)
 		}
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson diff: no benchmarks in common")
+	var added []string
+	for _, name := range newNames {
+		if _, ok := oldBy[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(gone)
+	sort.Strings(added)
+	if len(shared)+len(added) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson diff: new run has no benchmarks to gate")
 		return 2
 	}
 	failed := 0
-	for _, name := range names {
+	for _, name := range shared {
 		o, n := oldBy[name], newBy[name]
 		metric, ov, nv, lowerBetter := pickMetric(o, n)
 		if metric == "" {
@@ -216,15 +284,21 @@ func runDiff(args []string) int {
 			reg = 0
 		}
 		verdict := "ok   "
-		if reg > *tol {
+		if reg > overrides.tolFor(name, *tol) {
 			verdict = "FAIL "
 			failed++
 		}
 		fmt.Printf("%s %-50s %-8s %12.4g -> %12.4g  (%+.1f%%)\n",
 			verdict, name, metric, ov, nv, reg*100)
 	}
-	fmt.Printf("benchjson diff: %d compared, %d regressed beyond %.0f%%\n",
-		len(names), failed, *tol*100)
+	for _, name := range added {
+		fmt.Printf("NEW   %-50s not in baseline\n", name)
+	}
+	for _, name := range gone {
+		fmt.Printf("GONE  %-50s not in new run\n", name)
+	}
+	fmt.Printf("benchjson diff: %d compared, %d new, %d gone, %d regressed beyond tolerance (base %.0f%%)\n",
+		len(shared), len(added), len(gone), failed, *tol*100)
 	if failed > 0 {
 		return 1
 	}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, err := parseBenchLine("BenchmarkKernelIterative/D/512-8   12  345.5 ns/op  102.3 MB/s  16 B/op  2 allocs/op  9.5 model_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "KernelIterative/D/512" || r.Procs != 8 || r.Iterations != 12 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.NsPerOp != 345.5 || r.MBPerS != 102.3 || r.BytesPerOp != 16 || r.AllocsPerOp != 2 {
+		t.Fatalf("parsed metrics %+v", r)
+	}
+	if r.Metrics["model_s"] != 9.5 {
+		t.Fatalf("custom metric %+v", r.Metrics)
+	}
+}
+
+func TestParseDoc(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: dpspark/internal/kernels",
+		"cpu: Intel Xeon",
+		"BenchmarkKernelIterative/D/256-1   10  100 ns/op",
+		"PASS",
+		"ok  \tdpspark/internal/kernels\t1.0s",
+	}, "\n")
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "dpspark/internal/kernels" || len(doc.Results) != 1 {
+		t.Fatalf("doc %+v", doc)
+	}
+}
+
+// writeDoc drops a Doc as JSON under dir and returns its path.
+func writeDoc(t *testing.T, dir, name string, results ...Result) string {
+	t.Helper()
+	raw, err := json.Marshal(Doc{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs runDiff with stdout captured.
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := runDiff(args)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return code, buf.String()
+}
+
+// TestDiffNewBenchmarkIsNotRegression: a benchmark present only in the
+// new run must be reported NEW in the summary and must not fail the gate
+// — the exact situation every PR that lands a new benchmark family puts
+// CI in before the baseline is regenerated.
+func TestDiffNewBenchmarkIsNotRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json",
+		Result{Name: "KernelIterative/D/512", NsPerOp: 100})
+	newPath := writeDoc(t, dir, "new.json",
+		Result{Name: "KernelIterative/D/512", NsPerOp: 101},
+		Result{Name: "KernelParallel/D/512/t4", NsPerOp: 50})
+	code, out := capture(t, []string{"-tol", "0.15", oldPath, newPath})
+	if code != 0 {
+		t.Fatalf("exit %d, out:\n%s", code, out)
+	}
+	if !strings.Contains(out, "NEW   KernelParallel/D/512/t4") {
+		t.Fatalf("missing NEW line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 compared, 1 new, 0 gone, 0 regressed") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+}
+
+func TestDiffGoneAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json",
+		Result{Name: "A", NsPerOp: 100},
+		Result{Name: "B", NsPerOp: 100})
+	newPath := writeDoc(t, dir, "new.json",
+		Result{Name: "A", NsPerOp: 200})
+	code, out := capture(t, []string{"-tol", "0.15", oldPath, newPath})
+	if code != 1 {
+		t.Fatalf("regression must exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "GONE  B") {
+		t.Fatalf("missing FAIL/GONE:\n%s", out)
+	}
+	if !strings.Contains(out, "1 compared, 0 new, 1 gone, 1 regressed") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+}
+
+// TestDiffTolMatch: -tolmatch loosens the gate only for names the regex
+// matches; the last matching override wins.
+func TestDiffTolMatch(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json",
+		Result{Name: "KernelParallel/D/512/t4", NsPerOp: 100},
+		Result{Name: "KernelIterative/D/512", NsPerOp: 100})
+	newPath := writeDoc(t, dir, "new.json",
+		Result{Name: "KernelParallel/D/512/t4", NsPerOp: 150},
+		Result{Name: "KernelIterative/D/512", NsPerOp: 150})
+	// Base 15% fails both; the override forgives only the parallel family.
+	code, out := capture(t, []string{
+		"-tol", "0.15", "-tolmatch", "KernelParallel/=0.9", oldPath, newPath})
+	if code != 1 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok    KernelParallel/D/512/t4") {
+		t.Fatalf("override not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL  KernelIterative/D/512") {
+		t.Fatalf("base tolerance not applied:\n%s", out)
+	}
+	// Last match wins.
+	code, out = capture(t, []string{
+		"-tol", "0.15",
+		"-tolmatch", "Kernel=0.9", "-tolmatch", "KernelIterative/=0.1",
+		oldPath, newPath})
+	if code != 1 || !strings.Contains(out, "FAIL  KernelIterative/D/512") ||
+		!strings.Contains(out, "ok    KernelParallel/D/512/t4") {
+		t.Fatalf("last-match-wins broken (exit %d):\n%s", code, out)
+	}
+}
+
+func TestDiffMetricPriority(t *testing.T) {
+	o := Result{NsPerOp: 100, MBPerS: 10, Metrics: map[string]float64{"model_s": 5}}
+	n := Result{NsPerOp: 120, MBPerS: 12, Metrics: map[string]float64{"model_s": 6}}
+	if m, ov, nv, lower := pickMetric(o, n); m != "model_s" || ov != 5 || nv != 6 || !lower {
+		t.Fatalf("pickMetric = %q %v %v %v", m, ov, nv, lower)
+	}
+	o.Metrics, n.Metrics = nil, nil
+	if m, _, _, lower := pickMetric(o, n); m != "MB/s" || lower {
+		t.Fatalf("pickMetric without model_s = %q", m)
+	}
+	o.MBPerS, n.MBPerS = 0, 0
+	if m, _, _, lower := pickMetric(o, n); m != "ns/op" || !lower {
+		t.Fatalf("pickMetric fallback = %q", m)
+	}
+}
+
+func TestTolMatchFlagParsing(t *testing.T) {
+	var f tolMatchFlag
+	if err := f.Set("Kernel.*=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("no-equals"); err == nil {
+		t.Fatal("missing = must be rejected")
+	}
+	if err := f.Set("(=0.5"); err == nil {
+		t.Fatal("bad regex must be rejected")
+	}
+	if err := f.Set("x=-1"); err == nil {
+		t.Fatal("negative tolerance must be rejected")
+	}
+	if got := f.tolFor("KernelFoo", 0.15); got != 0.5 {
+		t.Fatalf("tolFor = %v", got)
+	}
+	if got := f.tolFor("Other", 0.15); got != 0.15 {
+		t.Fatalf("tolFor default = %v", got)
+	}
+	if f.String() != "Kernel.*=0.5" {
+		t.Fatalf("String = %q", f.String())
+	}
+}

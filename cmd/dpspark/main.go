@@ -24,6 +24,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -60,6 +62,7 @@ func main() {
 	stop := fs.Int("stop", 0, "kill the driver after this many iterations, 0 = run to completion (durable command)")
 	size := fs.Int("size", 512, "problem size of the durable demo run (durable command)")
 	block := fs.Int("block", 128, "tile size of the durable demo run (durable command)")
+	kernelThreads := fs.Int("kernel-threads", 1, "intra-tile kernel pool width for real-mode runs, the OMP_NUM_THREADS analogue (1 = serial; >1 row-band parallel kernels, bit-identical)")
 	critpath := fs.Bool("critpath", false, "record and report the critical path of every run")
 	listen := fs.String("listen", "", "serve live observability endpoints (/metrics /events /debug/critpath /healthz) on this address")
 	flightOut := fs.String("flight", "", "write the flight-recorder event tail as JSON lines to this file")
@@ -230,7 +233,7 @@ func main() {
 			for _, driver := range []core.DriverKind{core.IM, core.CB} {
 				var cleanS float64
 				for _, faulted := range []bool{false, true} {
-					conf := rdd.Conf{Cluster: cl, Speculation: true, Observer: observer}
+					conf := rdd.Conf{Cluster: cl, Speculation: true, Observer: observer, KernelThreads: *kernelThreads}
 					name := fmt.Sprintf("%v clean", driver)
 					if faulted {
 						conf.FaultPlan = plan
@@ -293,11 +296,12 @@ func main() {
 				return err
 			}
 			ctx := rdd.NewContext(rdd.Conf{
-				Cluster:      cluster.LocalN(4, 2),
-				DurableDir:   *dir,
-				MemoryBudget: *budget,
-				SpillCodec:   core.TileCodec{},
-				Observer:     observer,
+				Cluster:       cluster.LocalN(4, 2),
+				DurableDir:    *dir,
+				MemoryBudget:  *budget,
+				SpillCodec:    core.TileCodec{},
+				KernelThreads: *kernelThreads,
+				Observer:      observer,
 			})
 			in := durableInput(rule, *size, *seed)
 			bl := matrix.Block(in, *block, rule.Pad(), rule.PadDiag())
@@ -342,14 +346,15 @@ func main() {
 					plan.RemoteOutages = []rdd.RemoteOutage{{From: 0, Dur: 4 * r}}
 				}
 				ctx := rdd.NewContext(rdd.Conf{
-					Cluster:      cluster.LocalN(4, 2),
-					DurableDir:   filepath.Join(*dir, name, "local"),
-					RemoteDir:    filepath.Join(*dir, name, "remote"),
-					MemoryBudget: *budget,
-					SpillCodec:   core.TileCodec{},
-					Speculation:  true,
-					FaultPlan:    plan,
-					Observer:     observer,
+					Cluster:       cluster.LocalN(4, 2),
+					DurableDir:    filepath.Join(*dir, name, "local"),
+					RemoteDir:     filepath.Join(*dir, name, "remote"),
+					MemoryBudget:  *budget,
+					SpillCodec:    core.TileCodec{},
+					Speculation:   true,
+					FaultPlan:     plan,
+					KernelThreads: *kernelThreads,
+					Observer:      observer,
 				})
 				bl := matrix.Block(in, *block, rule.Pad(), rule.PadDiag())
 				out, st, err := core.Run(ctx, bl, core.Config{
@@ -399,12 +404,13 @@ func main() {
 			fmt.Printf("resuming %s %s from checkpoint %d/%d (n=%d b=%d)\n",
 				meta.Rule, meta.Driver, meta.Iteration, meta.R, meta.N, meta.B)
 			ctx := rdd.NewContext(rdd.Conf{
-				Cluster:      cluster.LocalN(4, 2),
-				DurableDir:   *dir,
-				MemoryBudget: *budget,
-				SpillCodec:   core.TileCodec{},
-				Restore:      &meta.Engine,
-				Observer:     observer,
+				Cluster:       cluster.LocalN(4, 2),
+				DurableDir:    *dir,
+				MemoryBudget:  *budget,
+				SpillCodec:    core.TileCodec{},
+				Restore:       &meta.Engine,
+				KernelThreads: *kernelThreads,
+				Observer:      observer,
 			})
 			out, st, err := core.Resume(ctx, meta, bl, core.Config{
 				Rule: rule, BlockSize: meta.B, Driver: drv,
@@ -417,6 +423,51 @@ func main() {
 			printDurableStats(ctx, st)
 			fmt.Printf("result checksum: %016x (n=%d b=%d %s %v)\n",
 				denseChecksum(out.ToDense()), meta.N, meta.B, ruleFlagName(meta.Rule), drv)
+			return nil
+		case "kernels":
+			// Measured single-tile scaling of the iterative kernels on THIS
+			// machine (real time, not the cluster model): the scaling curve
+			// per tile size, the serial↔parallel crossover and the
+			// suggested cores×threads split for -kernel-threads tuning.
+			cores := runtime.NumCPU()
+			target := *kernelThreads
+			if target <= 1 {
+				target = 4
+			}
+			widths := []int{1, 2, 4, 8}
+			if !containsInt(widths, target) {
+				widths = append(widths, target)
+				sort.Ints(widths)
+			}
+			sizes := []int{64, 128, 256, 512}
+			const reps = 3
+			fmt.Printf("single-tile kernel scaling on this machine (%d cores, best of %d reps)\n\n", cores, reps)
+			for _, bench := range []string{"fw", "ge"} {
+				rule, _, err := durableSetup(bench, "im")
+				if err != nil {
+					return err
+				}
+				fmt.Printf("-- %s (%s) --\n", bench, rule.Name())
+				var atSize *autotune.KernelProfile
+				for _, b := range sizes {
+					prof := autotune.MeasureKernelScaling(rule, b, widths, reps)
+					fmt.Printf("  %-40s best t%d (speedup %.2f× at t%d)\n",
+						prof.String(), prof.BestThreads(), prof.Speedup(target), target)
+					if b == sizes[len(sizes)-1] {
+						p := prof
+						atSize = &p
+					}
+				}
+				cross := autotune.Crossover(rule, target, sizes, reps)
+				if cross == 0 {
+					fmt.Printf("  crossover at t%d: none — parallel kernels never beat serial here, keep -kernel-threads 1\n", target)
+				} else {
+					fmt.Printf("  crossover at t%d: b=%d — tiles this size and up gain from -kernel-threads %d\n", target, cross, target)
+				}
+				ec, kt := autotune.SplitCoresThreads(cores, *atSize)
+				fmt.Printf("  suggested split of %d cores at b=%d: executor-cores=%d × kernel-threads=%d\n\n",
+					cores, atSize.B, ec, kt)
+			}
 			return nil
 		case "sweep":
 			cl := cluster.Skylake16()
@@ -543,6 +594,16 @@ func durableSetup(bench, driver string) (semiring.Rule, core.DriverKind, error) 
 	default:
 		return nil, core.IM, fmt.Errorf("unknown -driver %q (want im or cb)", driver)
 	}
+}
+
+// containsInt reports whether xs contains v.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // ruleFlagName maps a checkpoint's rule name back to the -bench flag.
@@ -686,6 +747,8 @@ commands:
               replicas, then again under a remote outage (degraded mode)
   resume      restart from the newest intact checkpoint under -dir,
               bit-identical to the uninterrupted run
+  kernels     measured single-tile kernel scaling on this machine:
+              per-size curves, serial↔parallel crossover, cores×threads split
   sweep       autotune search over the full tuning space
   all         tables, figures and ablations
 
@@ -693,6 +756,8 @@ flags: -n <size> (default 32768), -csv <dir>, -v,
        -seed <n> / -crashes <n> (chaos fault plan),
        -dir <dir> / -bench fw|ge / -driver im|cb / -budget <bytes> /
        -stop <k> / -size <n> / -block <b> (durable + resume),
+       -kernel-threads <t> (row-band parallel kernels in real-mode runs;
+                            also the target width of the kernels report),
        -trace <file> (Chrome trace-event JSON, load in Perfetto),
        -metrics <file> (Prometheus text dump),
        -critpath (per-run critical-path table + gauges),

@@ -99,6 +99,16 @@ func NewSessionExecutorCores(c *Cluster, execCores int) *Session {
 	return &Session{ctx: rdd.NewContext(rdd.Conf{Cluster: c, ExecutorCores: execCores})}
 }
 
+// NewSessionKernelThreads creates a session whose executors run
+// intra-tile parallel kernels: each node owns a shared kernel pool of
+// the given width, tasks split tile updates into row bands on it, and
+// the default task-slot count co-tunes to cores/threads — the paper's
+// executor-cores × OMP_NUM_THREADS trade-off. Results are bit-identical
+// to a serial session's.
+func NewSessionKernelThreads(c *Cluster, threads int) *Session {
+	return &Session{ctx: rdd.NewContext(rdd.Conf{Cluster: c, KernelThreads: threads})}
+}
+
 // NewSessionObserved creates a session that reports spans and metrics
 // into the given observer (pass one observer to several sessions to
 // aggregate a sweep into a single trace/metrics export). execCores ≤ 0

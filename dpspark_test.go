@@ -35,6 +35,29 @@ func TestFacadeAPSP(t *testing.T) {
 	}
 }
 
+// TestFacadeKernelThreads: the parallel-kernel session reproduces the
+// serial session's APSP result exactly, bit for bit.
+func TestFacadeKernelThreads(t *testing.T) {
+	g := RandomGraph(200, 0.1, 1, 9, 5)
+	cfg := Config{BlockSize: 64, Driver: IM}
+	serial, _, err := NewSession(Local(8)).APSP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, stats, err := NewSessionKernelThreads(Local(8), 4).APSP(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range par.Data {
+		if math.Float64bits(v) != math.Float64bits(serial.Data[i]) {
+			t.Fatalf("element %d: parallel kernels diverge from serial bits", i)
+		}
+	}
+	if stats.KernelSpawned+stats.KernelInlined == 0 {
+		t.Fatal("threaded session never consulted its kernel pools")
+	}
+}
+
 func TestFacadeLinearSolve(t *testing.T) {
 	s := NewSession(Local(4))
 	a, b := RandomSystem(30, 2)

@@ -33,6 +33,11 @@ type Space struct {
 	Threads []int
 	// ExecutorCores settings (default: all physical cores).
 	ExecutorCores []int
+	// KernelThreads widths for iterative kernels (default: 1, serial).
+	// Each width > 1 co-tunes the candidate's ExecutorCores down to
+	// cores/threads so task slots × kernel threads covers the node once —
+	// the paper's cores×threads trade-off.
+	KernelThreads []int
 	// IncludeIterative adds the iterative-kernel candidates (default on
 	// via DefaultSpace).
 	IncludeIterative bool
@@ -46,6 +51,7 @@ func DefaultSpace(c *cluster.Cluster) Space {
 		RShared:          []int{2, 4, 8, 16},
 		Threads:          []int{2, 4, 8, 16, 32},
 		ExecutorCores:    []int{c.Node.Cores},
+		KernelThreads:    []int{1, 2, 4, 8},
 		IncludeIterative: true,
 	}
 }
@@ -58,6 +64,9 @@ type Candidate struct {
 	RShared       int
 	Threads       int
 	ExecutorCores int
+	// KernelThreads is the iterative kernel's row-band pool width
+	// (0 or 1: serial; ignored for recursive kernels, which use Threads).
+	KernelThreads int
 }
 
 // String renders the candidate compactly.
@@ -65,6 +74,8 @@ func (c Candidate) String() string {
 	kernel := "iter"
 	if c.Recursive {
 		kernel = fmt.Sprintf("rec%d/omp%d", c.RShared, c.Threads)
+	} else if c.KernelThreads > 1 {
+		kernel = fmt.Sprintf("iter/t%d", c.KernelThreads)
 	}
 	return fmt.Sprintf("%s b=%d %s cores=%d", c.Driver, c.BlockSize, kernel, c.ExecutorCores)
 }
@@ -111,7 +122,11 @@ func Search(cl *cluster.Cluster, rule semiring.Rule, n int, space Space) ([]Outc
 
 // Price runs one candidate symbolically and returns its outcome.
 func Price(cl *cluster.Cluster, rule semiring.Rule, n int, cand Candidate) Outcome {
-	ctx := rdd.NewContext(rdd.Conf{Cluster: cl, ExecutorCores: cand.ExecutorCores})
+	ctx := rdd.NewContext(rdd.Conf{
+		Cluster:       cl,
+		ExecutorCores: cand.ExecutorCores,
+		KernelThreads: cand.KernelThreads,
+	})
 	cfg := core.Config{
 		Rule:            rule,
 		BlockSize:       cand.BlockSize,
@@ -119,6 +134,7 @@ func Price(cl *cluster.Cluster, rule semiring.Rule, n int, cand Candidate) Outco
 		RecursiveKernel: cand.Recursive,
 		RShared:         cand.RShared,
 		Threads:         cand.Threads,
+		KernelThreads:   cand.KernelThreads,
 	}
 	bl := matrix.NewSymbolicBlocked(n, cand.BlockSize)
 	_, stats, err := core.Run(ctx, bl, cfg)

@@ -1,0 +1,174 @@
+package autotune
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dpspark/internal/kernels"
+	"dpspark/internal/matrix"
+	"dpspark/internal/semiring"
+)
+
+// This file is the measured (not modelled) half of the tuner: it times
+// real single-tile kernel executions to find where the row-band parallel
+// split starts paying for its scheduling cost, and how a node's cores
+// are best divided between task slots and kernel threads. The analytic
+// Estimate path ranks whole configurations; these measurements calibrate
+// the two knobs the analytic model cannot know for the machine it runs
+// on — the serial↔parallel crossover tile size and the per-thread
+// speedup curve.
+
+// ScalingPoint is one measured sample of the single-tile scaling curve:
+// the best-of-reps wall time of a full kind-D tile update at the given
+// pool width.
+type ScalingPoint struct {
+	Threads int
+	Time    time.Duration
+	// Throughput is element updates per second, b³/Time.
+	Throughput float64
+}
+
+// KernelProfile is the measured single-tile scaling of the iterative
+// kernel at one tile size.
+type KernelProfile struct {
+	B      int
+	Points []ScalingPoint
+}
+
+// MeasureKernelScaling times a full kind-D update of one b×b tile under
+// the rule for each pool width in threads (best of reps, reps < 1 reads
+// as 1) and returns the profile. Operands are deterministic and the
+// destination is reset between reps, so every sample executes the exact
+// same instruction stream.
+func MeasureKernelScaling(rule semiring.Rule, b int, threads []int, reps int) KernelProfile {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(int64(b)))
+	fill := func() *matrix.Tile {
+		t := matrix.NewTile(b)
+		for i := range t.Data {
+			// Away from zero so Gaussian pivots never divide by ~0.
+			t.Data[i] = 0.5 + rng.Float64()
+		}
+		return t
+	}
+	x0, u, v, w := fill(), fill(), fill(), fill()
+	work := matrix.NewTile(b)
+
+	prof := KernelProfile{B: b}
+	for _, t := range threads {
+		if t < 1 {
+			t = 1
+		}
+		pool := kernels.NewPool(t)
+		var best time.Duration
+		for rep := 0; rep < reps; rep++ {
+			x0.View().CopyTo(work.View())
+			start := time.Now()
+			kernels.LoopPool(pool, rule, semiring.KindD, work.View(), u.View(), v.View(), w.View())
+			if el := time.Since(start); best == 0 || el < best {
+				best = el
+			}
+		}
+		fb := float64(b)
+		prof.Points = append(prof.Points, ScalingPoint{
+			Threads:    t,
+			Time:       best,
+			Throughput: fb * fb * fb / best.Seconds(),
+		})
+	}
+	return prof
+}
+
+// point returns the sample at the given width, if measured.
+func (p KernelProfile) point(threads int) (ScalingPoint, bool) {
+	for _, pt := range p.Points {
+		if pt.Threads == threads {
+			return pt, true
+		}
+	}
+	return ScalingPoint{}, false
+}
+
+// BestThreads returns the measured-fastest pool width, preferring fewer
+// threads on ties (narrower kernels leave more task slots). Returns 1
+// for an empty profile.
+func (p KernelProfile) BestThreads() int {
+	best, bestTp := 1, 0.0
+	for _, pt := range p.Points {
+		if pt.Throughput > bestTp || (pt.Throughput == bestTp && pt.Threads < best) {
+			best, bestTp = pt.Threads, pt.Throughput
+		}
+	}
+	return best
+}
+
+// Speedup returns the measured speedup of the given width over the
+// serial sample (1 when either sample is missing).
+func (p KernelProfile) Speedup(threads int) float64 {
+	base, ok1 := p.point(1)
+	pt, ok2 := p.point(threads)
+	if !ok1 || !ok2 || base.Throughput <= 0 {
+		return 1
+	}
+	return pt.Throughput / base.Throughput
+}
+
+// String renders the profile as a compact scaling curve.
+func (p KernelProfile) String() string {
+	s := fmt.Sprintf("b=%d:", p.B)
+	for _, pt := range p.Points {
+		s += fmt.Sprintf(" t%d=%v", pt.Threads, pt.Time.Round(time.Microsecond))
+	}
+	return s
+}
+
+// Crossover measures the scaling curve at each tile size (ascending)
+// and returns the smallest size where width-threads kernels beat serial
+// by more than the noise margin — the tile size below which LoopPool
+// callers should stay serial. Returns 0 when parallel never wins (on a
+// single-core machine, always 0).
+func Crossover(rule semiring.Rule, threads int, sizes []int, reps int) int {
+	if threads <= 1 {
+		return 0
+	}
+	for _, b := range sizes {
+		prof := MeasureKernelScaling(rule, b, []int{1, threads}, reps)
+		// 10% over serial: below that the split is within run-to-run
+		// noise and not worth the narrower task slots.
+		if prof.Speedup(threads) > 1.10 {
+			return b
+		}
+	}
+	return 0
+}
+
+// SplitCoresThreads picks the cores×threads division of one node that
+// maximises modelled node throughput: slots(t) × speedup(t) with
+// slots(t) = cores/t, over the widths the profile measured. Ties prefer
+// narrower kernels. The returned pair always satisfies
+// execCores ≥ 1, kernelThreads ≥ 1 and execCores×kernelThreads ≤ cores
+// (unless cores < 1, which reads as 1).
+func SplitCoresThreads(cores int, p KernelProfile) (execCores, kernelThreads int) {
+	if cores < 1 {
+		cores = 1
+	}
+	bestT, bestScore := 1, float64(cores)
+	for _, pt := range p.Points {
+		t := pt.Threads
+		if t <= 1 || t > cores {
+			continue
+		}
+		score := float64(cores/t) * p.Speedup(t)
+		if score > bestScore {
+			bestT, bestScore = t, score
+		}
+	}
+	execCores = cores / bestT
+	if execCores < 1 {
+		execCores = 1
+	}
+	return execCores, bestT
+}

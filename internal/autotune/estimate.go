@@ -36,10 +36,14 @@ func Estimate(cl *cluster.Cluster, rule semiring.Rule, n int, cand Candidate) (s
 	if execCores <= 0 {
 		execCores = cl.Node.Cores
 	}
+	kcThreads := cand.Threads
+	if !cand.Recursive {
+		kcThreads = cand.KernelThreads
+	}
 	kc := costmodel.KernelConfig{
 		Recursive: cand.Recursive,
 		RShared:   cand.RShared,
-		Threads:   cand.Threads,
+		Threads:   kcThreads,
 		CoTasks:   execCores,
 	}
 	b := cand.BlockSize
@@ -142,6 +146,9 @@ func enumerate(cl *cluster.Cluster, space Space, n int) ([]Candidate, error) {
 	if len(space.ExecutorCores) == 0 {
 		space.ExecutorCores = []int{cl.Node.Cores}
 	}
+	if len(space.KernelThreads) == 0 {
+		space.KernelThreads = []int{1}
+	}
 	var cands []Candidate
 	for _, d := range space.Drivers {
 		for _, b := range space.BlockSizes {
@@ -150,7 +157,22 @@ func enumerate(cl *cluster.Cluster, space Space, n int) ([]Candidate, error) {
 			}
 			for _, cores := range space.ExecutorCores {
 				if space.IncludeIterative {
-					cands = append(cands, Candidate{Driver: d, BlockSize: b, ExecutorCores: cores})
+					for _, kt := range space.KernelThreads {
+						// Widening the kernel shrinks the task slots: the
+						// candidate carries the co-tuned cores×threads
+						// split explicitly so pricing sees it.
+						ec := cores
+						if kt > 1 {
+							ec = cores / kt
+							if ec < 1 {
+								ec = 1
+							}
+						}
+						cands = append(cands, Candidate{
+							Driver: d, BlockSize: b,
+							ExecutorCores: ec, KernelThreads: kt,
+						})
+					}
 				}
 				for _, rs := range space.RShared {
 					for _, th := range space.Threads {

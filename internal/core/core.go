@@ -81,8 +81,16 @@ type Config struct {
 	RShared int
 	// Base is the recursive base-case size (default 64).
 	Base int
-	// Threads is OMP_NUM_THREADS for recursive kernels.
+	// Threads is OMP_NUM_THREADS for recursive kernels. 0 inherits
+	// KernelThreads.
 	Threads int
+	// KernelThreads is the per-invocation kernel thread budget — the
+	// cores×threads split of the paper's OpenMP experiments, applied to
+	// both kernel families (for iterative kernels it drives the row-band
+	// parallel split of the blocked fast paths). 0 (the default) inherits
+	// the engine's rdd.Conf.KernelThreads; an explicit value must not
+	// exceed it, because the shared per-node pools are sized by the Conf.
+	KernelThreads int
 	// Partitions is the RDD partition count (default: 2× total cores,
 	// the paper's guideline).
 	Partitions int
@@ -130,6 +138,16 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 	if cfg.BlockSize < 1 {
 		return fmt.Errorf("core: BlockSize must be ≥1, got %d", cfg.BlockSize)
 	}
+	if cfg.KernelThreads < 0 {
+		return fmt.Errorf("core: KernelThreads must be ≥ 0 (0 inherits the engine's Conf.KernelThreads), got %d", cfg.KernelThreads)
+	}
+	if cfg.KernelThreads == 0 {
+		cfg.KernelThreads = ctx.KernelThreads()
+	}
+	if cfg.KernelThreads > ctx.KernelThreads() {
+		return fmt.Errorf("core: KernelThreads %d exceeds the engine's per-node kernel pool width %d; raise rdd.Conf.KernelThreads",
+			cfg.KernelThreads, ctx.KernelThreads())
+	}
 	if cfg.RecursiveKernel {
 		if cfg.RShared < 2 {
 			return fmt.Errorf("core: RShared must be ≥2 for recursive kernels, got %d", cfg.RShared)
@@ -138,7 +156,7 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 			cfg.Base = 64
 		}
 		if cfg.Threads < 1 {
-			cfg.Threads = 1
+			cfg.Threads = cfg.KernelThreads
 		}
 	}
 	if cfg.Partitions < 1 {
@@ -182,6 +200,9 @@ func (cfg *Config) normalize(ctx *rdd.Context) error {
 func (cfg Config) KernelName() string {
 	if cfg.RecursiveKernel {
 		return fmt.Sprintf("rec%d-way(omp=%d)", cfg.RShared, cfg.Threads)
+	}
+	if cfg.KernelThreads > 1 {
+		return fmt.Sprintf("iterative(threads=%d)", cfg.KernelThreads)
 	}
 	return "iterative"
 }
@@ -303,11 +324,15 @@ type runner struct {
 
 // kernelConfig builds the cost-model description of the configured kernel.
 func (run *runner) kernelConfig() costmodel.KernelConfig {
+	threads := run.cfg.KernelThreads
+	if run.cfg.RecursiveKernel {
+		threads = run.cfg.Threads
+	}
 	return costmodel.KernelConfig{
 		Recursive: run.cfg.RecursiveKernel,
 		RShared:   run.cfg.RShared,
 		Base:      run.cfg.Base,
-		Threads:   run.cfg.Threads,
+		Threads:   threads,
 		CoTasks:   run.ctx.ExecutorCores(),
 	}
 }
@@ -321,7 +346,7 @@ func (run *runner) newKernelRunner() *kernelRunner {
 	if run.cfg.RecursiveKernel {
 		e = kernels.NewRecursiveExec(run.cfg.Rule, run.cfg.RShared, run.cfg.Base, run.cfg.Threads)
 	} else {
-		e = kernels.NewIterative(run.cfg.Rule)
+		e = kernels.NewIterativePool(run.cfg.Rule, run.cfg.KernelThreads)
 	}
 	reg := run.ctx.Observer().Metrics()
 	var sink metricsSink
@@ -339,6 +364,7 @@ func (run *runner) newKernelRunner() *kernelRunner {
 		sink.wall[kind] = reg.Histogram("dpspark_kernel_wall_seconds", l, kernelSecondsBuckets)
 	}
 	kr.exec = kernels.Instrument(e, sink)
+	kr.pexec, _ = kr.exec.(kernels.PoolExec)
 	return kr
 }
 
@@ -362,9 +388,13 @@ type kindMetrics struct {
 // kernelRunner applies kernels for one driver run.
 type kernelRunner struct {
 	exec kernels.Exec
-	kc   costmodel.KernelConfig
-	pool *matrix.TilePool
-	m    [4]kindMetrics
+	// pexec is exec's pool-aware face (nil if the exec cannot take a
+	// caller-supplied pool): real-tile invocations go through it with the
+	// task node's shared kernel pool.
+	pexec kernels.PoolExec
+	kc    costmodel.KernelConfig
+	pool  *matrix.TilePool
+	m     [4]kindMetrics
 }
 
 // apply prices and (for real tiles) executes one kernel call, returning
@@ -395,7 +425,7 @@ func (kr *kernelRunner) apply(tc *rdd.TaskContext, gen uint32, kind semiring.Kin
 	cost := model.KernelTime(kr.exec.Rule(), kind, x.B, kr.kc)
 	occ := model.Occupancy(kind, kr.kc)
 	tc.ChargeCompute(cost, occ)
-	tc.ChargeIdleThreads(kr.kc.EffectiveThreads() - occ)
+	tc.ChargeIdleThreads(model.IdleThreads(kind, kr.kc))
 	km := &kr.m[kind]
 	km.calls.Inc()
 	km.cost.Observe(cost.Seconds())
@@ -410,7 +440,11 @@ func (kr *kernelRunner) apply(tc *rdd.TaskContext, gen uint32, kind semiring.Kin
 		out = kr.pool.Clone(x)
 	}
 	if !out.Symbolic() {
-		kr.exec.Apply(kind, out, u, v, w)
+		if kr.pexec != nil {
+			kr.pexec.ApplyWith(tc.KernelPool(), kind, out, u, v, w)
+		} else {
+			kr.exec.Apply(kind, out, u, v, w)
+		}
 	}
 	out.SetGen(gen)
 	return out

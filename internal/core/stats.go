@@ -42,6 +42,14 @@ type Stats struct {
 	// observed during the run (1 = perfectly balanced, 0 = no stages).
 	MaxTaskSkew float64
 
+	// KernelSpawned, KernelInlined and KernelHandoffs attribute the run's
+	// real kernel-thread occupancy: branches the shared per-node kernel
+	// pools ran on their own goroutine, branches inlined on the caller
+	// because every spare token was busy, and barrier token hand-offs.
+	// All zero when Conf.KernelThreads ≤ 1 (serial kernels) and for
+	// symbolic runs (no real kernel executions).
+	KernelSpawned, KernelInlined, KernelHandoffs int64
+
 	// SpilledBlocks, EvictedBlocks and CorruptBlocks count the durable
 	// block store's activity during the run: blocks written to the
 	// checksummed disk tier (forced spills + evictions), blocks evicted
@@ -83,11 +91,13 @@ type RunMark struct {
 	events int
 	st     store.Stats
 	rs     rdd.RecoveryStats
+
+	poolSpawned, poolInlined, poolHandoffs int64
 }
 
 // MarkRun captures the context state at the start of a run.
 func MarkRun(ctx *rdd.Context) RunMark {
-	return RunMark{
+	m := RunMark{
 		wall:   time.Now(),
 		clock:  ctx.Clock(),
 		bd:     ctx.Breakdown(),
@@ -95,6 +105,8 @@ func MarkRun(ctx *rdd.Context) RunMark {
 		st:     ctx.StoreStats(),
 		rs:     ctx.RecoveryStats(),
 	}
+	m.poolSpawned, m.poolInlined, m.poolHandoffs = ctx.KernelPoolStats()
+	return m
 }
 
 // StatsSince builds the run's Stats from everything the context did since
@@ -139,6 +151,10 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		RemoteRetries:    rs.RemoteRetries - m.rs.RemoteRetries,
 		DegradedWindows:  rs.DegradedWindows - m.rs.DegradedWindows,
 	}
+	ps, pi, ph := ctx.KernelPoolStats()
+	s.KernelSpawned = ps - m.poolSpawned
+	s.KernelInlined = pi - m.poolInlined
+	s.KernelHandoffs = ph - m.poolHandoffs
 	if cp := ctx.Observer().CritPath(); cp.Enabled() {
 		rep := cp.Compute(ctx.TracePid(), m.clock, now)
 		s.CritPath = &rep

@@ -44,17 +44,19 @@ type KernelConfig struct {
 	RShared int
 	// Base is the recursive base-case size; ignored for iterative.
 	Base int
-	// Threads is OMP_NUM_THREADS for recursive kernels; iterative kernels
-	// are single-threaded (Numba JIT loops).
+	// Threads is the intra-kernel worker budget: OMP_NUM_THREADS for
+	// recursive kernels, KernelThreads (row-band workers) for iterative
+	// ones. ≤1 means single-threaded invocations.
 	Threads int
 	// CoTasks is the expected number of tasks co-resident on a node
 	// (executor-cores), which determines aggregate cache/DRAM pressure.
 	CoTasks int
 }
 
-// EffectiveThreads returns the threads one task occupies.
+// EffectiveThreads returns the threads one task's kernel invocations may
+// occupy.
 func (kc KernelConfig) EffectiveThreads() int {
-	if !kc.Recursive || kc.Threads < 1 {
+	if kc.Threads < 1 {
 		return 1
 	}
 	return kc.Threads
@@ -193,10 +195,16 @@ func (m *Model) work(rule semiring.Rule, kind semiring.Kind, n int) float64 {
 func (m *Model) clockScale() float64 { return 1.0 / m.C.Node.ClockGHz }
 
 // iterPenalty returns the cache multiplier for an iterative kernel on a
-// b×b tile with coTasks tasks sharing the node.
-func (m *Model) iterPenalty(b, coTasks int) float64 {
+// b×b tile with coTasks tasks sharing the node and streams concurrently
+// streaming update loops (coTasks × the per-task occupancy): cache
+// pressure follows the number of distinct working sets, bandwidth demand
+// the number of active update streams.
+func (m *Model) iterPenalty(b, coTasks, streams int) float64 {
 	if coTasks < 1 {
 		coTasks = 1
+	}
+	if streams < coTasks {
+		streams = coTasks
 	}
 	ws := 3 * int64(b) * int64(b) * 8 // x, u, v operand tiles
 	node := m.C.Node
@@ -216,7 +224,7 @@ func (m *Model) iterPenalty(b, coTasks int) float64 {
 		p += m.P.DRAMLogGrowth * math.Log2(over)
 	}
 	// Bandwidth dilation when aggregate streaming demand exceeds DRAM.
-	demand := float64(coTasks) * m.P.IterBytesPerUpdate /
+	demand := float64(streams) * m.P.IterBytesPerUpdate /
 		(m.P.IterUpdateNs * m.clockScale() * 1e-9)
 	if dil := demand / node.MemBWBps; dil > p {
 		p = dil
@@ -243,29 +251,62 @@ func kernelParallelism(kind semiring.Kind, rShared int) float64 {
 	}
 }
 
-// threadSpeedup returns the effective speedup of T threads on a recursive
-// kernel of the given kind and fan-out.
+// iterParallelism is the exploitable parallelism of one iterative kernel
+// invocation under the row-band split: kind D is unaliased and splits
+// into per-thread bands (parallelism bounded only by the row count, far
+// above any realistic thread budget), while A, B and C are true in-place
+// DPs that stay on the ordered serial loops whatever the pool width.
+func iterParallelism(kind semiring.Kind) float64 {
+	if kind == semiring.KindD {
+		return math.MaxFloat64
+	}
+	return 1
+}
+
+// threadSpeedup returns the effective speedup of T threads on one kernel
+// invocation of the given kind.
 func (m *Model) threadSpeedup(kind semiring.Kind, kc KernelConfig) float64 {
 	t := float64(kc.EffectiveThreads())
 	if t <= 1 {
 		return 1
 	}
 	e := t / (1 + m.P.ThreadOverhead*(t-1))
-	return math.Min(e, kernelParallelism(kind, kc.RShared))
+	if kc.Recursive {
+		return math.Min(e, kernelParallelism(kind, kc.RShared))
+	}
+	return math.Min(e, iterParallelism(kind))
+}
+
+// parallelismOf returns the config's exploitable parallelism for a kind.
+func parallelismOf(kind semiring.Kind, kc KernelConfig) float64 {
+	if kc.Recursive {
+		return kernelParallelism(kind, kc.RShared)
+	}
+	return iterParallelism(kind)
 }
 
 // Occupancy returns the worker threads a kernel invocation keeps busy:
 // threads beyond the kernel's exploitable parallelism sleep at the
-// par_for barriers (passive OMP wait) and do not contend for cores.
+// par_for barriers (passive OMP wait) or are never spawned (iterative
+// band split) and do not contend for cores.
 func (m *Model) Occupancy(kind semiring.Kind, kc KernelConfig) int {
-	if !kc.Recursive {
-		return 1
-	}
 	t := kc.EffectiveThreads()
-	if p := int(math.Ceil(kernelParallelism(kind, kc.RShared))); t > p {
+	if p := int(math.Ceil(math.Min(float64(t), parallelismOf(kind, kc)))); t > p {
 		return p
 	}
 	return t
+}
+
+// IdleThreads returns the threads a kernel invocation reserves but cannot
+// use. Recursive OMP-style teams keep their full width alive across the
+// invocation (idle members spin or sleep at barriers but still belong to
+// the task); the iterative band split simply never wakes pool workers it
+// cannot feed, so its unused budget costs nothing.
+func (m *Model) IdleThreads(kind semiring.Kind, kc KernelConfig) int {
+	if !kc.Recursive {
+		return 0
+	}
+	return kc.EffectiveThreads() - m.Occupancy(kind, kc)
 }
 
 // KernelTime prices one kernel invocation of the given kind on a b×b tile.
@@ -273,9 +314,16 @@ func (m *Model) KernelTime(rule semiring.Rule, kind semiring.Kind, b int, kc Ker
 	work := m.work(rule, kind, b)
 	scale := m.clockScale()
 	if !kc.Recursive {
-		ns := work * m.P.IterUpdateNs * scale * m.iterPenalty(b, kc.CoTasks)
+		occ := m.Occupancy(kind, kc)
+		s := m.threadSpeedup(kind, kc)
+		ns := work * m.P.IterUpdateNs * scale *
+			m.iterPenalty(b, kc.CoTasks, kc.CoTasks*occ) / s
 		if rule.UsesPivot() {
 			ns *= m.P.DivPenaltyIter
+		}
+		// One band fork/join per invocation when the split engages.
+		if occ > 1 {
+			ns += m.P.RecForkNs * float64(occ)
 		}
 		return simtime.Duration(ns * 1e-9)
 	}

@@ -189,10 +189,75 @@ func TestHaswellSmallerL2Penalizes(t *testing.T) {
 	// Haswell's 256KB L2 — the root of Fig. 8's portability gap.
 	sky := New(cluster.Skylake16())
 	has := New(cluster.Haswell16())
-	if sky.iterPenalty(128, 1) != 1 {
+	if sky.iterPenalty(128, 1, 1) != 1 {
 		t.Fatal("128 tile must be L2-resident on skylake")
 	}
-	if has.iterPenalty(128, 1) == 1 {
+	if has.iterPenalty(128, 1, 1) == 1 {
 		t.Fatal("3×128²×8 = 384KB must exceed haswell's 256KB L2")
+	}
+}
+
+func iterThreadedCfg(threads, coTasks int) KernelConfig {
+	return KernelConfig{Recursive: false, Threads: threads, CoTasks: coTasks}
+}
+
+// TestIterativeThreadScaling: with the row-band split, iterative kind-D
+// kernels scale with the thread budget (sub-linearly, σ overhead) while
+// the in-place kinds A/B/C stay serial at exactly the single-thread price.
+func TestIterativeThreadScaling(t *testing.T) {
+	m := model()
+	rule := semiring.NewFloydWarshall()
+	b := 512
+	serial := m.KernelTime(rule, semiring.KindD, b, iterCfg(1))
+	par := m.KernelTime(rule, semiring.KindD, b, iterThreadedCfg(4, 1))
+	if par >= serial {
+		t.Fatalf("4 band threads must beat serial on kind D: %v vs %v", par, serial)
+	}
+	if speedup := serial.Seconds() / par.Seconds(); speedup >= 4 {
+		t.Fatalf("thread speedup must be sub-linear, got %.2f×", speedup)
+	}
+	for _, kind := range []semiring.Kind{semiring.KindA, semiring.KindB, semiring.KindC} {
+		s1 := m.KernelTime(rule, kind, b, iterCfg(1))
+		s4 := m.KernelTime(rule, kind, b, iterThreadedCfg(4, 1))
+		if s1 != s4 {
+			t.Fatalf("kind %v must be thread-insensitive for iterative kernels: %v vs %v", kind, s1, s4)
+		}
+	}
+	if got := m.Occupancy(semiring.KindD, iterThreadedCfg(4, 1)); got != 4 {
+		t.Fatalf("iterative D occupancy = %d, want 4", got)
+	}
+	if got := m.Occupancy(semiring.KindA, iterThreadedCfg(4, 1)); got != 1 {
+		t.Fatalf("iterative A occupancy = %d, want 1", got)
+	}
+}
+
+// TestIdleThreads: recursive OMP teams reserve their full width (unused
+// members are charged as idle); the iterative band split never wakes
+// workers it cannot feed.
+func TestIdleThreads(t *testing.T) {
+	m := model()
+	if got := m.IdleThreads(semiring.KindA, recCfg(2, 8, 1)); got <= 0 {
+		t.Fatalf("recursive A with 8 threads on r=2 must idle threads, got %d", got)
+	}
+	if got := m.IdleThreads(semiring.KindA, iterThreadedCfg(8, 1)); got != 0 {
+		t.Fatalf("iterative idle threads = %d, want 0", got)
+	}
+	if got := m.IdleThreads(semiring.KindD, iterThreadedCfg(8, 1)); got != 0 {
+		t.Fatalf("iterative D idle threads = %d, want 0", got)
+	}
+}
+
+// TestIterPenaltyStreams: bandwidth dilation follows the number of active
+// update streams (coTasks × occupancy), so a cores×threads split with the
+// same total stream count prices the same demand, and more streams never
+// price below fewer.
+func TestIterPenaltyStreams(t *testing.T) {
+	m := model()
+	b := 1024
+	if p44, p16 := m.iterPenalty(b, 4, 16), m.iterPenalty(b, 16, 16); p44 > p16 {
+		t.Fatalf("4 tasks × 4 threads should not exceed 16 tasks × 1 thread in bandwidth demand: %v vs %v", p44, p16)
+	}
+	if lo, hi := m.iterPenalty(b, 4, 4), m.iterPenalty(b, 4, 16); hi < lo {
+		t.Fatalf("more streams must not lower the penalty: %v -> %v", lo, hi)
 	}
 }

@@ -7,9 +7,12 @@ import "dpspark/internal/matrix"
 // The straight kij loops stream the whole x tile through the cache once
 // per k — at b = 1024 that is 8 MB of x traffic per pivot row, far beyond
 // L2. Blocking k in chunks of kBlock keeps a small set of x rows resident
-// across kBlock consecutive pivots, and unrolling i by 4 reuses each
-// loaded v element across four output rows. Column tiling (jBlock) bounds
-// the working set further for very large tiles.
+// across kBlock consecutive pivots; rows are processed in groups of four
+// whose per-(row,k) scalar operands are gathered into a brick buffer and
+// handed to the AVX2 bodies in simd_amd64.s (which hold a 4×8 x block in
+// registers across the whole k block), with 8×-unrolled scalar code
+// covering machines without AVX2 and the row/column remainders. Column
+// tiling (jBlock) bounds the working set further for very large tiles.
 //
 // These paths apply only when x does not alias u or v. For kinds A, B and
 // C, Fig. 4 wires x into the operand list (u = v = w = x for A, v = x for
@@ -27,12 +30,17 @@ import "dpspark/internal/matrix"
 //     block and visits blocks in ascending order, so each element sees
 //     the exact update sequence of loopGaussian — bit-identical again.
 //
+// Because rows of x are mutually independent under the unaliased shapes,
+// the same band functions also carry the intra-tile parallel split: each
+// pool worker runs a band [i0,i1) of rows through the identical code, so
+// the parallel result is bit-identical to the serial one (LoopPool).
+//
 // The recursive kernels' quadrant views make the same gating sound: child
 // views of one slab are either identical or fully disjoint, so comparing
 // the address of the first element decides aliasing exactly.
 const (
-	// kBlock is the pivot-block depth: 4 unrolled x rows × kBlock v rows
-	// × 8 bytes stays L1-resident at jBlock columns.
+	// kBlock is the pivot-block depth: 4 x rows × kBlock scalar operands
+	// fit the brick buffer while the v block stays cache-resident.
 	kBlock = 32
 	// jBlock is the column tile width for tiles wider than it.
 	jBlock = 512
@@ -45,107 +53,169 @@ func sameView(a, b matrix.View) bool {
 	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
 }
 
-// loopMinPlusBlocked is the k-blocked, 4×-i-unrolled min-plus update for
-// x not aliased with u or v.
+// loopMinPlusBlocked is the whole-tile serial entry: one band spanning
+// every row.
 func loopMinPlusBlocked(x, u, v matrix.View) {
+	minPlusBand(x, u, v, 0, x.N)
+}
+
+// loopGaussianBlocked is the whole-tile serial entry for the unaliased
+// full-range shape (kind D: ILow = JLow = 0).
+func loopGaussianBlocked(x, u, v, w matrix.View) {
+	gaussianBand(x, u, v, w, 0, x.N)
+}
+
+// minPlusRow8 applies x[j] = min(x[j], s + v[j]) over [j0,j1) with an
+// 8×-unrolled straight-line body (hoisted bounds, no aliasing).
+func minPlusRow8(xrow, vrow []float64, s float64, j0, j1 int) {
+	j := j0
+	for ; j+8 <= j1; j += 8 {
+		xs := xrow[j : j+8 : j+8]
+		vs := vrow[j : j+8 : j+8]
+		if t := s + vs[0]; t < xs[0] {
+			xs[0] = t
+		}
+		if t := s + vs[1]; t < xs[1] {
+			xs[1] = t
+		}
+		if t := s + vs[2]; t < xs[2] {
+			xs[2] = t
+		}
+		if t := s + vs[3]; t < xs[3] {
+			xs[3] = t
+		}
+		if t := s + vs[4]; t < xs[4] {
+			xs[4] = t
+		}
+		if t := s + vs[5]; t < xs[5] {
+			xs[5] = t
+		}
+		if t := s + vs[6]; t < xs[6] {
+			xs[6] = t
+		}
+		if t := s + vs[7]; t < xs[7] {
+			xs[7] = t
+		}
+	}
+	for ; j < j1; j++ {
+		if t := s + vrow[j]; t < xrow[j] {
+			xrow[j] = t
+		}
+	}
+}
+
+// gaussRow8 applies x[j] -= f * v[j] over [j0,j1), 8×-unrolled. The body
+// is the exact expression of the ordered loop (unfused multiply-subtract),
+// so results stay bit-identical.
+func gaussRow8(xrow, vrow []float64, f float64, j0, j1 int) {
+	j := j0
+	for ; j+8 <= j1; j += 8 {
+		xs := xrow[j : j+8 : j+8]
+		vs := vrow[j : j+8 : j+8]
+		xs[0] -= f * vs[0]
+		xs[1] -= f * vs[1]
+		xs[2] -= f * vs[2]
+		xs[3] -= f * vs[3]
+		xs[4] -= f * vs[4]
+		xs[5] -= f * vs[5]
+		xs[6] -= f * vs[6]
+		xs[7] -= f * vs[7]
+	}
+	for ; j < j1; j++ {
+		xrow[j] -= f * vrow[j]
+	}
+}
+
+// minPlusBand runs the k-blocked min-plus update on rows [i0,i1) of x.
+// Rows are independent (x aliases neither u nor v), so disjoint bands
+// compose to the full tile in any order or in parallel.
+func minPlusBand(x, u, v matrix.View, i0, i1 int) {
 	n := x.N
+	var b [4 * kBlock]float64
 	for k0 := 0; k0 < n; k0 += kBlock {
 		kHi := k0 + kBlock
 		if kHi > n {
 			kHi = n
 		}
+		klen := kHi - k0
 		for j0 := 0; j0 < n; j0 += jBlock {
 			jHi := j0 + jBlock
 			if jHi > n {
 				jHi = n
 			}
-			i := 0
-			for ; i+4 <= n; i += 4 {
-				x0 := x.Data[i*x.Stride : i*x.Stride+n]
-				x1 := x.Data[(i+1)*x.Stride : (i+1)*x.Stride+n]
-				x2 := x.Data[(i+2)*x.Stride : (i+2)*x.Stride+n]
-				x3 := x.Data[(i+3)*x.Stride : (i+3)*x.Stride+n]
-				for k := k0; k < kHi; k++ {
-					u0 := u.At(i, k)
-					u1 := u.At(i+1, k)
-					u2 := u.At(i+2, k)
-					u3 := u.At(i+3, k)
-					vrow := v.Data[k*v.Stride : k*v.Stride+n]
-					for j := j0; j < jHi; j++ {
-						vj := vrow[j]
-						if t := u0 + vj; t < x0[j] {
-							x0[j] = t
-						}
-						if t := u1 + vj; t < x1[j] {
-							x1[j] = t
-						}
-						if t := u2 + vj; t < x2[j] {
-							x2[j] = t
-						}
-						if t := u3 + vj; t < x3[j] {
-							x3[j] = t
+			i := i0
+			if useAVX2 && jHi-j0 >= 8 {
+				jv := j0 + (jHi-j0)&^7
+				for ; i+4 <= i1; i += 4 {
+					for r := 0; r < 4; r++ {
+						urow := u.Data[(i+r)*u.Stride:]
+						copy(b[r*klen:(r+1)*klen], urow[k0:kHi])
+					}
+					minplusBrickAVX2(x.Data[i*x.Stride+j0:], b[:4*klen],
+						v.Data[k0*v.Stride+j0:], x.Stride, v.Stride, klen, jv-j0)
+					for r := 0; jv < jHi && r < 4; r++ {
+						xrow := x.Data[(i+r)*x.Stride : (i+r)*x.Stride+n]
+						for kk := 0; kk < klen; kk++ {
+							vrow := v.Data[(k0+kk)*v.Stride : (k0+kk)*v.Stride+n]
+							minPlusRow8(xrow, vrow, b[r*klen+kk], jv, jHi)
 						}
 					}
 				}
 			}
-			for ; i < n; i++ {
+			for ; i < i1; i++ {
 				xrow := x.Data[i*x.Stride : i*x.Stride+n]
+				urow := u.Data[i*u.Stride:]
 				for k := k0; k < kHi; k++ {
-					uik := u.At(i, k)
 					vrow := v.Data[k*v.Stride : k*v.Stride+n]
-					for j := j0; j < jHi; j++ {
-						if t := uik + vrow[j]; t < xrow[j] {
-							xrow[j] = t
-						}
-					}
+					minPlusRow8(xrow, vrow, urow[k], j0, jHi)
 				}
 			}
 		}
 	}
 }
 
-// loopGaussianBlocked is the k-blocked, 4×-i-unrolled elimination update
-// for the unaliased full-range shape (kind D: ILow = JLow = 0). Each
-// element receives its updates in ascending k, exactly as loopGaussian
-// applies them, with the same per-update expression f·v[k,j] for
-// f = u[i,k]/w[k,k] — the results are bit-identical.
-func loopGaussianBlocked(x, u, v, w matrix.View) {
+// gaussianBand runs the k-blocked elimination update on rows [i0,i1) of
+// x for the unaliased full-range shape. Each element receives its updates
+// in ascending k with the per-update expression f·v[k,j] for
+// f = u[i,k]/w[k,k], exactly as loopGaussian applies them — bit-identical
+// serially and across disjoint bands.
+func gaussianBand(x, u, v, w matrix.View, i0, i1 int) {
 	n := x.N
+	var b [4 * kBlock]float64
 	for k0 := 0; k0 < n; k0 += kBlock {
 		kHi := k0 + kBlock
 		if kHi > n {
 			kHi = n
 		}
-		i := 0
-		for ; i+4 <= n; i += 4 {
-			x0 := x.Data[i*x.Stride : i*x.Stride+n]
-			x1 := x.Data[(i+1)*x.Stride : (i+1)*x.Stride+n]
-			x2 := x.Data[(i+2)*x.Stride : (i+2)*x.Stride+n]
-			x3 := x.Data[(i+3)*x.Stride : (i+3)*x.Stride+n]
-			for k := k0; k < kHi; k++ {
-				wkk := w.At(k, k)
-				f0 := u.At(i, k) / wkk
-				f1 := u.At(i+1, k) / wkk
-				f2 := u.At(i+2, k) / wkk
-				f3 := u.At(i+3, k) / wkk
-				vrow := v.Data[k*v.Stride : k*v.Stride+n]
-				for j := 0; j < n; j++ {
-					vj := vrow[j]
-					x0[j] -= f0 * vj
-					x1[j] -= f1 * vj
-					x2[j] -= f2 * vj
-					x3[j] -= f3 * vj
+		klen := kHi - k0
+		i := i0
+		if useAVX2 && n >= 8 {
+			jv := n &^ 7
+			for ; i+4 <= i1; i += 4 {
+				for r := 0; r < 4; r++ {
+					urow := u.Data[(i+r)*u.Stride:]
+					for kk := 0; kk < klen; kk++ {
+						b[r*klen+kk] = urow[k0+kk] / w.At(k0+kk, k0+kk)
+					}
+				}
+				gaussBrickAVX2(x.Data[i*x.Stride:], b[:4*klen],
+					v.Data[k0*v.Stride:], x.Stride, v.Stride, klen, jv)
+				for r := 0; jv < n && r < 4; r++ {
+					xrow := x.Data[(i+r)*x.Stride : (i+r)*x.Stride+n]
+					for kk := 0; kk < klen; kk++ {
+						vrow := v.Data[(k0+kk)*v.Stride : (k0+kk)*v.Stride+n]
+						gaussRow8(xrow, vrow, b[r*klen+kk], jv, n)
+					}
 				}
 			}
 		}
-		for ; i < n; i++ {
+		for ; i < i1; i++ {
 			xrow := x.Data[i*x.Stride : i*x.Stride+n]
+			urow := u.Data[i*u.Stride:]
 			for k := k0; k < kHi; k++ {
-				f := u.At(i, k) / w.At(k, k)
+				f := urow[k] / w.At(k, k)
 				vrow := v.Data[k*v.Stride : k*v.Stride+n]
-				for j := 0; j < n; j++ {
-					xrow[j] -= f * vrow[j]
-				}
+				gaussRow8(xrow, vrow, f, 0, n)
 			}
 		}
 	}

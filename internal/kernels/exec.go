@@ -39,17 +39,49 @@ func normalize(x, u, v, w *matrix.Tile) (xv, uv, vv, wv matrix.View) {
 	return x.View(), u.View(), v.View(), w.View()
 }
 
-// Iterative runs plain loop kernels — the baseline kernel type
-// (Schoeneman–Zola / Numba style), single-threaded per invocation.
-type Iterative struct {
-	R semiring.Rule
+// PoolExec is implemented by execs that can run one kernel invocation on
+// a caller-supplied worker pool — the paper's OMP_NUM_THREADS seam. The
+// engine hands every task the node's shared pool so a single task can
+// occupy k cores while the executor-cores budget shrinks accordingly.
+type PoolExec interface {
+	Exec
+	// ApplyWith is Apply using pool for intra-kernel parallelism. A nil
+	// pool falls back to the exec's own configuration (exactly Apply).
+	// Results are bit-identical to Apply for any pool width.
+	ApplyWith(pool *Pool, kind semiring.Kind, x, u, v, w *matrix.Tile)
 }
 
-// NewIterative returns an iterative kernel exec for the rule.
+// Iterative runs loop kernels — the baseline kernel type (Schoeneman–Zola
+// / Numba style). With a Pool, the unaliased blocked fast paths split
+// into row bands so one invocation uses up to Pool.Threads() cores;
+// without one, each invocation is single-threaded.
+type Iterative struct {
+	R semiring.Rule
+	// Pool provides intra-kernel parallelism for plain Apply calls; nil
+	// runs serially. ApplyWith overrides it per invocation.
+	Pool *Pool
+}
+
+// NewIterative returns a serial iterative kernel exec for the rule.
 func NewIterative(rule semiring.Rule) Iterative { return Iterative{R: rule} }
 
+// NewIterativePool returns an iterative exec whose Apply uses a private
+// pool of the given width (≤1 ⇒ serial).
+func NewIterativePool(rule semiring.Rule, threads int) Iterative {
+	var pool *Pool
+	if threads > 1 {
+		pool = NewPool(threads)
+	}
+	return Iterative{R: rule, Pool: pool}
+}
+
 // Name implements Exec.
-func (e Iterative) Name() string { return "iterative" }
+func (e Iterative) Name() string {
+	if e.Pool.Threads() > 1 {
+		return fmt.Sprintf("iterative(threads=%d)", e.Pool.Threads())
+	}
+	return "iterative"
+}
 
 // Rule implements Exec.
 func (e Iterative) Rule() semiring.Rule { return e.R }
@@ -57,7 +89,16 @@ func (e Iterative) Rule() semiring.Rule { return e.R }
 // Apply implements Exec.
 func (e Iterative) Apply(kind semiring.Kind, x, u, v, w *matrix.Tile) {
 	xv, uv, vv, wv := normalize(x, u, v, w)
-	Loop(e.R, kind, xv, uv, vv, wv)
+	LoopPool(e.Pool, e.R, kind, xv, uv, vv, wv)
+}
+
+// ApplyWith implements PoolExec (nil pool ⇒ the exec's own).
+func (e Iterative) ApplyWith(pool *Pool, kind semiring.Kind, x, u, v, w *matrix.Tile) {
+	if pool == nil {
+		pool = e.Pool
+	}
+	xv, uv, vv, wv := normalize(x, u, v, w)
+	LoopPool(pool, e.R, kind, xv, uv, vv, wv)
 }
 
 // RecursiveExec runs the r_shared-way recursive R-DP kernels on a worker
@@ -94,6 +135,19 @@ func (e RecursiveExec) Threads() int { return e.rec.Pool.Threads() }
 func (e RecursiveExec) Apply(kind semiring.Kind, x, u, v, w *matrix.Tile) {
 	xv, uv, vv, wv := normalize(x, u, v, w)
 	e.rec.Run(kind, xv, uv, vv, wv)
+}
+
+// ApplyWith implements PoolExec, running the recursion's par_for groups
+// on the supplied pool instead of the exec's own (nil ⇒ the exec's own).
+func (e RecursiveExec) ApplyWith(pool *Pool, kind semiring.Kind, x, u, v, w *matrix.Tile) {
+	if pool == nil {
+		e.Apply(kind, x, u, v, w)
+		return
+	}
+	xv, uv, vv, wv := normalize(x, u, v, w)
+	rec := *e.rec
+	rec.Pool = pool
+	rec.Run(kind, xv, uv, vv, wv)
 }
 
 // RunLocal executes the full top-level blocked GEP algorithm on a single

@@ -44,3 +44,15 @@ func (x instrumented) Apply(kind semiring.Kind, xt, u, v, w *matrix.Tile) {
 	x.inner.Apply(kind, xt, u, v, w)
 	x.sink.ObserveKernel(x.inner.Name(), kind, xt.B, time.Since(start))
 }
+
+// ApplyWith implements PoolExec, timing the wrapped kernel. When the
+// inner exec cannot use a pool the invocation degrades to Apply.
+func (x instrumented) ApplyWith(pool *Pool, kind semiring.Kind, xt, u, v, w *matrix.Tile) {
+	start := time.Now()
+	if pe, ok := x.inner.(PoolExec); ok {
+		pe.ApplyWith(pool, kind, xt, u, v, w)
+	} else {
+		x.inner.Apply(kind, xt, u, v, w)
+	}
+	x.sink.ObserveKernel(x.inner.Name(), kind, xt.B, time.Since(start))
+}

@@ -292,7 +292,7 @@ func (c countingRule) Apply(x, u, v, w float64) float64 {
 	return c.Rule.Apply(x, u, v, w)
 }
 
-func TestPoolParallelAndLeaf(t *testing.T) {
+func TestPoolParallel(t *testing.T) {
 	p := NewPool(3)
 	if p.Threads() != 3 {
 		t.Fatalf("Threads = %d", p.Threads())
@@ -302,12 +302,12 @@ func TestPoolParallelAndLeaf(t *testing.T) {
 		t.Fatal("nil pool must report 1 thread")
 	}
 	ran := make([]bool, 20)
-	fns := make([]func(), 20)
+	fns := make([]func(bool), 20)
 	for i := range fns {
 		i := i
-		fns[i] = func() { p.leaf(func() { ran[i] = true }) }
+		fns[i] = func(bool) { ran[i] = true }
 	}
-	p.parallel(fns)
+	p.parallel(false, fns)
 	for i, r := range ran {
 		if !r {
 			t.Fatalf("fn %d did not run", i)
@@ -315,7 +315,7 @@ func TestPoolParallelAndLeaf(t *testing.T) {
 	}
 	// Serial path.
 	count := 0
-	nilPool.parallel([]func(){func() { count++ }, func() { count++ }})
+	nilPool.parallel(false, []func(bool){func(bool) { count++ }, func(bool) { count++ }})
 	if count != 2 {
 		t.Fatal("nil pool parallel must run serially")
 	}

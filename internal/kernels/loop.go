@@ -38,8 +38,19 @@ func Loop(rule semiring.Rule, kind semiring.Kind, x, u, v, w matrix.View) {
 		loopGaussian(r, kind, x, u, v, w)
 		return
 	}
+	// Rules that never read the pivot operand must not load it either:
+	// when the engine carries no pivot tile for them (FW's kind D has
+	// lighter dependencies, Fig. 7) normalize wires w back to x, and the
+	// recursive kernels run sibling quadrant updates concurrently — a
+	// load of the aliased w[k,k] would race with the (k,k) quadrant's
+	// writer. Apply ignores the argument, so skipping the load is
+	// bit-identical.
+	usesW := rule.UsesPivot()
 	for k := 0; k < n; k++ {
-		wkk := w.At(k, k)
+		var wkk float64
+		if usesW {
+			wkk = w.At(k, k)
+		}
 		for i := rule.ILow(kind, k); i < n; i++ {
 			uik := u.At(i, k)
 			xrow := x.Data[i*x.Stride:]

@@ -42,9 +42,16 @@ func NewRecursive(rule semiring.Rule, r, base int, pool *Pool) *Recursive {
 // with panel/pivot operands u, v, w wired as in Fig. 4. As with Loop,
 // kind A expects u = v = w = x, kind B expects v = x, kind C expects u = x.
 func (rc *Recursive) Run(kind semiring.Kind, x, u, v, w matrix.View) {
+	rc.run(false, kind, x, u, v, w)
+}
+
+// run is Run with the pool-token state of the executing goroutine
+// threaded through, so nested par_for barriers can hand their token off
+// while waiting (see Pool.parallel).
+func (rc *Recursive) run(held bool, kind semiring.Kind, x, u, v, w matrix.View) {
 	n := x.N
 	if n <= rc.Base || n%rc.R != 0 {
-		rc.Pool.leaf(func() { Loop(rc.Rule, kind, x, u, v, w) })
+		Loop(rc.Rule, kind, x, u, v, w)
 		return
 	}
 	r := rc.R
@@ -56,77 +63,77 @@ func (rc *Recursive) Run(kind semiring.Kind, x, u, v, w matrix.View) {
 		case semiring.KindA:
 			// A(X_kk), then {B(X_kj), C(X_ik)} in parallel, then D(X_ij).
 			xkk := q(x, k, k)
-			rc.Run(semiring.KindA, xkk, xkk, xkk, xkk)
-			var panel []func()
+			rc.run(held, semiring.KindA, xkk, xkk, xkk, xkk)
+			var panel []func(bool)
 			for _, j := range rest {
 				j := j
-				panel = append(panel, func() {
-					rc.Run(semiring.KindB, q(x, k, j), xkk, q(x, k, j), xkk)
+				panel = append(panel, func(h bool) {
+					rc.run(h, semiring.KindB, q(x, k, j), xkk, q(x, k, j), xkk)
 				})
 			}
 			for _, i := range rest {
 				i := i
-				panel = append(panel, func() {
-					rc.Run(semiring.KindC, q(x, i, k), q(x, i, k), xkk, xkk)
+				panel = append(panel, func(h bool) {
+					rc.run(h, semiring.KindC, q(x, i, k), q(x, i, k), xkk, xkk)
 				})
 			}
-			rc.Pool.parallel(panel)
-			var interior []func()
+			rc.Pool.parallel(held, panel)
+			var interior []func(bool)
 			for _, i := range rest {
 				for _, j := range rest {
 					i, j := i, j
-					interior = append(interior, func() {
-						rc.Run(semiring.KindD, q(x, i, j), q(x, i, k), q(x, k, j), xkk)
+					interior = append(interior, func(h bool) {
+						rc.run(h, semiring.KindD, q(x, i, j), q(x, i, k), q(x, k, j), xkk)
 					})
 				}
 			}
-			rc.Pool.parallel(interior)
+			rc.Pool.parallel(held, interior)
 
 		case semiring.KindB:
 			// B(X_kj, U_kk, W_kk) ∀j, then D(X_ij, U_ik, X_kj, W_kk)
 			// for restricted i, ∀j.
 			ukk, wkk := q(u, k, k), q(w, k, k)
-			var row []func()
+			var row []func(bool)
 			for j := 0; j < r; j++ {
 				j := j
-				row = append(row, func() {
-					rc.Run(semiring.KindB, q(x, k, j), ukk, q(x, k, j), wkk)
+				row = append(row, func(h bool) {
+					rc.run(h, semiring.KindB, q(x, k, j), ukk, q(x, k, j), wkk)
 				})
 			}
-			rc.Pool.parallel(row)
-			var interior []func()
+			rc.Pool.parallel(held, row)
+			var interior []func(bool)
 			for _, i := range rest {
 				for j := 0; j < r; j++ {
 					i, j := i, j
-					interior = append(interior, func() {
-						rc.Run(semiring.KindD, q(x, i, j), q(u, i, k), q(x, k, j), wkk)
+					interior = append(interior, func(h bool) {
+						rc.run(h, semiring.KindD, q(x, i, j), q(u, i, k), q(x, k, j), wkk)
 					})
 				}
 			}
-			rc.Pool.parallel(interior)
+			rc.Pool.parallel(held, interior)
 
 		case semiring.KindC:
 			// C(X_ik, V_kk, W_kk) ∀i, then D(X_ij, X_ik, V_kj, W_kk)
 			// ∀i, restricted j.
 			vkk, wkk := q(v, k, k), q(w, k, k)
-			var col []func()
+			var col []func(bool)
 			for i := 0; i < r; i++ {
 				i := i
-				col = append(col, func() {
-					rc.Run(semiring.KindC, q(x, i, k), q(x, i, k), vkk, wkk)
+				col = append(col, func(h bool) {
+					rc.run(h, semiring.KindC, q(x, i, k), q(x, i, k), vkk, wkk)
 				})
 			}
-			rc.Pool.parallel(col)
-			var interior []func()
+			rc.Pool.parallel(held, col)
+			var interior []func(bool)
 			for i := 0; i < r; i++ {
 				for _, j := range rest {
 					i, j := i, j
-					interior = append(interior, func() {
-						rc.Run(semiring.KindD, q(x, i, j), q(x, i, k), q(v, k, j), wkk)
+					interior = append(interior, func(h bool) {
+						rc.run(h, semiring.KindD, q(x, i, j), q(x, i, k), q(v, k, j), wkk)
 					})
 				}
 			}
-			rc.Pool.parallel(interior)
+			rc.Pool.parallel(held, interior)
 
 		case semiring.KindD:
 			// D(X_ij, U_ik, V_kj, W_kk) ∀i,j. (Fig. 4 prints the second
@@ -134,16 +141,16 @@ func (rc *Recursive) Run(kind semiring.Kind, x, u, v, w matrix.View) {
 			// update would read the output tile's own column, which is
 			// only correct for kind C.)
 			wkk := q(w, k, k)
-			var interior []func()
+			var interior []func(bool)
 			for i := 0; i < r; i++ {
 				for j := 0; j < r; j++ {
 					i, j := i, j
-					interior = append(interior, func() {
-						rc.Run(semiring.KindD, q(x, i, j), q(u, i, k), q(v, k, j), wkk)
+					interior = append(interior, func(h bool) {
+						rc.run(h, semiring.KindD, q(x, i, j), q(u, i, k), q(v, k, j), wkk)
 					})
 				}
 			}
-			rc.Pool.parallel(interior)
+			rc.Pool.parallel(held, interior)
 		}
 	}
 }

@@ -1,0 +1,186 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// Both bricks share one register plan. GP registers (R14, R15 and BP are
+// left untouched — R14 is the goroutine register under the internal ABI):
+//
+//	DI  x tile pointer, advanced 64 bytes per 8-column tile
+//	DX  v base pointer, advanced in lockstep with DI
+//	R13 v row pointer inside the k loop (DX + k·vstride·8)
+//	SI  b base (row-major 4×klen scalar operands)
+//	AX  b row-0 pointer inside the k loop (SI + k·8)
+//	CX  b row-0 end pointer (SI + klen·8)
+//	R10 klen·8   (b row offset: row r scalar at AX + r·R10)
+//	R11 3·klen·8
+//	R8  xstride·8
+//	BX  3·xstride·8
+//	R9  vstride·8
+//	R12 remaining columns
+//
+// Vector registers: Y0–Y7 hold the 4×8 x block across the whole k loop
+// (x is loaded and stored once per 8-column tile), Y8/Y9 the current v
+// row pair, Y10 the broadcast scalar, Y11 the product/sum temporary.
+
+#define LOAD_X \
+	VMOVUPD (DI), Y0 \
+	VMOVUPD 32(DI), Y1 \
+	VMOVUPD (DI)(R8*1), Y2 \
+	VMOVUPD 32(DI)(R8*1), Y3 \
+	VMOVUPD (DI)(R8*2), Y4 \
+	VMOVUPD 32(DI)(R8*2), Y5 \
+	VMOVUPD (DI)(BX*1), Y6 \
+	VMOVUPD 32(DI)(BX*1), Y7
+
+#define STORE_X \
+	VMOVUPD Y0, (DI) \
+	VMOVUPD Y1, 32(DI) \
+	VMOVUPD Y2, (DI)(R8*1) \
+	VMOVUPD Y3, 32(DI)(R8*1) \
+	VMOVUPD Y4, (DI)(R8*2) \
+	VMOVUPD Y5, 32(DI)(R8*2) \
+	VMOVUPD Y6, (DI)(BX*1) \
+	VMOVUPD Y7, 32(DI)(BX*1)
+
+// func minplusBrickAVX2(x, b, v []float64, xstride, vstride, klen, jlen int)
+//
+// x[r,j] = min(x[r,j], b[r,k] + v[k,j]). The VMINPD operand order below is
+// Go syntax for Intel MINPD(src1 = t, src2 = x): on unordered or equal
+// operands the instruction returns src2, i.e. x survives ties and NaN sums
+// exactly like the scalar `if t := s + vj; t < x { x = t }`.
+TEXT ·minplusBrickAVX2(SB), NOSPLIT, $0-104
+	MOVQ x_base+0(FP), DI
+	MOVQ b_base+24(FP), SI
+	MOVQ v_base+48(FP), DX
+	MOVQ xstride+72(FP), R8
+	SHLQ $3, R8
+	LEAQ (R8)(R8*2), BX
+	MOVQ vstride+80(FP), R9
+	SHLQ $3, R9
+	MOVQ klen+88(FP), R10
+	SHLQ $3, R10
+	LEAQ (R10)(R10*2), R11
+	LEAQ (SI)(R10*1), CX
+	MOVQ jlen+96(FP), R12
+
+mp_jtile:
+	LOAD_X
+	MOVQ DX, R13
+	MOVQ SI, AX
+
+mp_kloop:
+	VMOVUPD      (R13), Y8
+	VMOVUPD      32(R13), Y9
+	VBROADCASTSD (AX), Y10
+	VADDPD       Y8, Y10, Y11
+	VMINPD       Y0, Y11, Y0
+	VADDPD       Y9, Y10, Y11
+	VMINPD       Y1, Y11, Y1
+	VBROADCASTSD (AX)(R10*1), Y10
+	VADDPD       Y8, Y10, Y11
+	VMINPD       Y2, Y11, Y2
+	VADDPD       Y9, Y10, Y11
+	VMINPD       Y3, Y11, Y3
+	VBROADCASTSD (AX)(R10*2), Y10
+	VADDPD       Y8, Y10, Y11
+	VMINPD       Y4, Y11, Y4
+	VADDPD       Y9, Y10, Y11
+	VMINPD       Y5, Y11, Y5
+	VBROADCASTSD (AX)(R11*1), Y10
+	VADDPD       Y8, Y10, Y11
+	VMINPD       Y6, Y11, Y6
+	VADDPD       Y9, Y10, Y11
+	VMINPD       Y7, Y11, Y7
+	ADDQ         R9, R13
+	ADDQ         $8, AX
+	CMPQ         AX, CX
+	JCS          mp_kloop
+
+	STORE_X
+	ADDQ $64, DI
+	ADDQ $64, DX
+	SUBQ $8, R12
+	JGT  mp_jtile
+
+	VZEROUPPER
+	RET
+
+// func gaussBrickAVX2(x, b, v []float64, xstride, vstride, klen, jlen int)
+//
+// x[r,j] -= b[r,k] * v[k,j], unfused multiply-then-subtract to match the
+// scalar path bit for bit (gc does not contract mul-add on amd64).
+TEXT ·gaussBrickAVX2(SB), NOSPLIT, $0-104
+	MOVQ x_base+0(FP), DI
+	MOVQ b_base+24(FP), SI
+	MOVQ v_base+48(FP), DX
+	MOVQ xstride+72(FP), R8
+	SHLQ $3, R8
+	LEAQ (R8)(R8*2), BX
+	MOVQ vstride+80(FP), R9
+	SHLQ $3, R9
+	MOVQ klen+88(FP), R10
+	SHLQ $3, R10
+	LEAQ (R10)(R10*2), R11
+	LEAQ (SI)(R10*1), CX
+	MOVQ jlen+96(FP), R12
+
+ge_jtile:
+	LOAD_X
+	MOVQ DX, R13
+	MOVQ SI, AX
+
+ge_kloop:
+	VMOVUPD      (R13), Y8
+	VMOVUPD      32(R13), Y9
+	VBROADCASTSD (AX), Y10
+	VMULPD       Y8, Y10, Y11
+	VSUBPD       Y11, Y0, Y0
+	VMULPD       Y9, Y10, Y11
+	VSUBPD       Y11, Y1, Y1
+	VBROADCASTSD (AX)(R10*1), Y10
+	VMULPD       Y8, Y10, Y11
+	VSUBPD       Y11, Y2, Y2
+	VMULPD       Y9, Y10, Y11
+	VSUBPD       Y11, Y3, Y3
+	VBROADCASTSD (AX)(R10*2), Y10
+	VMULPD       Y8, Y10, Y11
+	VSUBPD       Y11, Y4, Y4
+	VMULPD       Y9, Y10, Y11
+	VSUBPD       Y11, Y5, Y5
+	VBROADCASTSD (AX)(R11*1), Y10
+	VMULPD       Y8, Y10, Y11
+	VSUBPD       Y11, Y6, Y6
+	VMULPD       Y9, Y10, Y11
+	VSUBPD       Y11, Y7, Y7
+	ADDQ         R9, R13
+	ADDQ         $8, AX
+	CMPQ         AX, CX
+	JCS          ge_kloop
+
+	STORE_X
+	ADDQ $64, DI
+	ADDQ $64, DX
+	SUBQ $8, R12
+	JGT  ge_jtile
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds have no SIMD bodies; the blocked fast paths use the
+// 8×-unrolled scalar code unconditionally.
+var useAVX2 = false
+
+func setSIMDForTest(enabled bool) (prev bool) { return false }
+
+func minplusBrickAVX2(x, b, v []float64, xstride, vstride, klen, jlen int) {
+	panic("kernels: SIMD brick on non-amd64 build")
+}
+
+func gaussBrickAVX2(x, b, v []float64, xstride, vstride, klen, jlen int) {
+	panic("kernels: SIMD brick on non-amd64 build")
+}

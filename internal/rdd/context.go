@@ -10,6 +10,7 @@ import (
 
 	"dpspark/internal/cluster"
 	"dpspark/internal/costmodel"
+	"dpspark/internal/kernels"
 	"dpspark/internal/obs"
 	"dpspark/internal/sim"
 	"dpspark/internal/simtime"
@@ -24,8 +25,18 @@ type Conf struct {
 	// Params overrides the cost-model calibration; nil uses defaults.
 	Params *costmodel.Params
 	// ExecutorCores is the number of concurrent task slots per executor
-	// (spark.executor.cores). Default: all physical cores per node.
+	// (spark.executor.cores). Default: all physical cores per node, or
+	// cores/KernelThreads when KernelThreads > 1 — the paper's
+	// cores×threads split keeps task-slots × kernel-threads equal to the
+	// physical core count.
 	ExecutorCores int
+	// KernelThreads is the OMP_NUM_THREADS analogue: the width of the
+	// shared per-node kernel worker pool handed to every task's kernel
+	// invocations (TaskContext.KernelPool). 1 (the default) runs kernels
+	// serially and creates no pools; negative values are rejected. The
+	// pool bounds real intra-kernel concurrency per node — tasks on one
+	// node share it, so total kernel workers never exceed this width.
+	KernelThreads int
 	// RealParallelism bounds the goroutines that actually execute tasks
 	// in this process. Default: runtime.NumCPU().
 	RealParallelism int
@@ -178,8 +189,22 @@ func (conf *Conf) normalize() error {
 			return err
 		}
 	}
+	if conf.KernelThreads < 0 {
+		return fmt.Errorf("rdd: Conf.KernelThreads must be ≥ 0 (0 means the default 1, serial kernels), got %d", conf.KernelThreads)
+	}
+	if conf.KernelThreads == 0 {
+		conf.KernelThreads = 1
+	}
 	if conf.ExecutorCores <= 0 {
 		conf.ExecutorCores = conf.Cluster.Node.Cores
+		if conf.KernelThreads > 1 {
+			// Co-tune the split: k-thread kernels shrink the task-slot
+			// budget so slots × threads covers the cores exactly once.
+			conf.ExecutorCores = conf.Cluster.Node.Cores / conf.KernelThreads
+			if conf.ExecutorCores < 1 {
+				conf.ExecutorCores = 1
+			}
+		}
 	}
 	if conf.RealParallelism <= 0 {
 		conf.RealParallelism = runtime.NumCPU()
@@ -228,6 +253,12 @@ type Context struct {
 	// store is the durable block store (nil without Conf.DurableDir); it
 	// stages shuffle buckets and broadcast payloads as checksummed blocks.
 	store *store.Store
+
+	// kernelPools holds one shared kernel worker pool per node (nil slice
+	// when Conf.KernelThreads ≤ 1): every task running on a node hands the
+	// node's pool to its kernel invocations, so intra-kernel workers are
+	// bounded per node, not per task.
+	kernelPools []*kernels.Pool
 
 	// faults is the fired-event/blacklist state for Conf.FaultPlan (nil
 	// without a plan); rec are the recovery counters, recm their
@@ -393,6 +424,12 @@ func NewContext(conf Conf) *Context {
 	if conf.FaultPlan != nil {
 		c.faults = newFaultState(conf.FaultPlan, conf.Cluster.Nodes)
 	}
+	if conf.KernelThreads > 1 {
+		c.kernelPools = make([]*kernels.Pool, conf.Cluster.Nodes)
+		for n := range c.kernelPools {
+			c.kernelPools[n] = kernels.NewPool(conf.KernelThreads)
+		}
+	}
 	if conf.DurableDir != "" {
 		st, err := store.Open(conf.DurableDir, store.Options{
 			MemoryBudget: conf.MemoryBudget,
@@ -480,6 +517,32 @@ func (c *Context) Cluster() *cluster.Cluster { return c.conf.Cluster }
 
 // ExecutorCores returns the per-executor task-slot setting.
 func (c *Context) ExecutorCores() int { return c.conf.ExecutorCores }
+
+// KernelThreads returns the per-invocation kernel thread budget (the
+// width of the shared per-node kernel pools; 1 means serial kernels).
+func (c *Context) KernelThreads() int { return c.conf.KernelThreads }
+
+// kernelPool returns the node's shared kernel worker pool (nil when
+// KernelThreads ≤ 1 or the node index is out of range).
+func (c *Context) kernelPool(node int) *kernels.Pool {
+	if node < 0 || node >= len(c.kernelPools) {
+		return nil
+	}
+	return c.kernelPools[node]
+}
+
+// KernelPoolStats sums the scheduling counters of every node's kernel
+// pool: branches spawned on their own goroutine, branches inlined on the
+// caller, and barrier token hand-offs. All zero when KernelThreads ≤ 1.
+func (c *Context) KernelPoolStats() (spawned, inlined, handoffs int64) {
+	for _, p := range c.kernelPools {
+		s, i, h := p.Stats()
+		spawned += s
+		inlined += i
+		handoffs += h
+	}
+	return spawned, inlined, handoffs
+}
 
 // KeepShuffles returns how many recent shuffle generations stay staged
 // (drivers with multi-iteration lineage windows must fit inside it).

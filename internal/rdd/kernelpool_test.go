@@ -1,0 +1,75 @@
+package rdd
+
+import (
+	"testing"
+
+	"dpspark/internal/cluster"
+)
+
+// TestConfKernelThreadsCoTune pins the cores×threads split: when
+// ExecutorCores is left unset, KernelThreads > 1 shrinks the task-slot
+// default so slots × threads covers the node's cores exactly once; an
+// explicit ExecutorCores is never touched.
+func TestConfKernelThreadsCoTune(t *testing.T) {
+	ctx := NewContext(Conf{Cluster: cluster.LocalN(2, 8), KernelThreads: 4})
+	if got := ctx.ExecutorCores(); got != 2 {
+		t.Fatalf("co-tuned ExecutorCores = %d, want 8/4 = 2", got)
+	}
+	if got := ctx.KernelThreads(); got != 4 {
+		t.Fatalf("KernelThreads = %d, want 4", got)
+	}
+
+	ctx = NewContext(Conf{Cluster: cluster.LocalN(2, 8), KernelThreads: 4, ExecutorCores: 6})
+	if got := ctx.ExecutorCores(); got != 6 {
+		t.Fatalf("explicit ExecutorCores overridden to %d", got)
+	}
+
+	// Threads wider than the node still leave one task slot.
+	ctx = NewContext(Conf{Cluster: cluster.LocalN(2, 2), KernelThreads: 8})
+	if got := ctx.ExecutorCores(); got != 1 {
+		t.Fatalf("ExecutorCores = %d, want floor ≥ 1", got)
+	}
+
+	// Default: serial kernels, full-cores slots, no pools.
+	ctx = NewContext(Conf{Cluster: cluster.LocalN(2, 8)})
+	if ctx.KernelThreads() != 1 || ctx.ExecutorCores() != 8 {
+		t.Fatalf("defaults: threads=%d cores=%d, want 1/8", ctx.KernelThreads(), ctx.ExecutorCores())
+	}
+	if ctx.kernelPool(0) != nil {
+		t.Fatal("serial context must not build kernel pools")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative KernelThreads must be rejected")
+		}
+	}()
+	NewContext(Conf{Cluster: cluster.LocalN(2, 8), KernelThreads: -1})
+}
+
+// TestKernelPoolPerNode: a threaded context owns one pool per node, of
+// the configured width, shared by every task placed there.
+func TestKernelPoolPerNode(t *testing.T) {
+	ctx := NewContext(Conf{Cluster: cluster.LocalN(3, 8), KernelThreads: 2})
+	seen := map[interface{}]bool{}
+	for n := 0; n < 3; n++ {
+		p := ctx.kernelPool(n)
+		if p == nil || p.Threads() != 2 {
+			t.Fatalf("node %d pool width = %d, want 2", n, p.Threads())
+		}
+		seen[p] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected one distinct pool per node, got %d", len(seen))
+	}
+	if ctx.kernelPool(-1) != nil || ctx.kernelPool(3) != nil {
+		t.Fatal("out-of-range node indices must yield no pool")
+	}
+	tc := &TaskContext{Node: 1, ctx: ctx}
+	if tc.KernelPool() != ctx.kernelPool(1) {
+		t.Fatal("TaskContext.KernelPool must return its node's shared pool")
+	}
+	if s, i, h := ctx.KernelPoolStats(); s != 0 || i != 0 || h != 0 {
+		t.Fatalf("fresh pools must have zero counters, got %d/%d/%d", s, i, h)
+	}
+}

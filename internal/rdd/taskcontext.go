@@ -1,6 +1,9 @@
 package rdd
 
-import "dpspark/internal/simtime"
+import (
+	"dpspark/internal/kernels"
+	"dpspark/internal/simtime"
+)
 
 // TaskContext is handed to every task (and through it to user map
 // functions). User code charges modelled compute time and shared-storage
@@ -38,6 +41,11 @@ type TaskContext struct {
 // Ctx returns the owning engine context (for model/cluster access inside
 // map functions).
 func (tc *TaskContext) Ctx() *Context { return tc.ctx }
+
+// KernelPool returns the shared kernel worker pool of the task's node —
+// the OMP_NUM_THREADS budget each kernel invocation may draw on. Nil when
+// the context runs kernels serially (Conf.KernelThreads ≤ 1).
+func (tc *TaskContext) KernelPool() *kernels.Pool { return tc.ctx.kernelPool(tc.Node) }
 
 // ChargeCompute adds d of modelled compute occupying the given number of
 // worker threads. The task's thread width is the maximum charged.
