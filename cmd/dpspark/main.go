@@ -23,10 +23,13 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dpspark/internal/autotune"
@@ -38,6 +41,7 @@ import (
 	"dpspark/internal/rdd"
 	"dpspark/internal/report"
 	"dpspark/internal/semiring"
+	"dpspark/internal/serve"
 )
 
 func main() {
@@ -64,8 +68,13 @@ func main() {
 	block := fs.Int("block", 128, "tile size of the durable demo run (durable command)")
 	kernelThreads := fs.Int("kernel-threads", 1, "intra-tile kernel pool width for real-mode runs, the OMP_NUM_THREADS analogue (1 = serial; >1 row-band parallel kernels, bit-identical)")
 	critpath := fs.Bool("critpath", false, "record and report the critical path of every run")
-	listen := fs.String("listen", "", "serve live observability endpoints (/metrics /events /debug/critpath /healthz) on this address")
+	listen := fs.String("listen", "", "serve live observability endpoints (/metrics /events /debug/critpath /healthz) on this address; the serve command's job API binds here too")
 	flightOut := fs.String("flight", "", "write the flight-recorder event tail as JSON lines to this file")
+	maxQueue := fs.Int("max-queue", 16, "max queued jobs before submissions get 429 (serve command)")
+	maxJobs := fs.Int("max-jobs", 2, "max concurrently running jobs on the shared cluster (serve command)")
+	tenantRunning := fs.Int("tenant-running", 0, "per-tenant running-job cap, 0 = auto (serve command)")
+	tenantPending := fs.Int("tenant-pending", 0, "per-tenant queued-job cap, 0 = auto (serve command)")
+	drainGrace := fs.Duration("drain-grace", 30*time.Second, "graceful-drain window on SIGTERM before in-flight jobs are cancelled (serve command)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -79,7 +88,7 @@ func main() {
 	if *critpath {
 		observer.EnableCritPath(true)
 	}
-	if *listen != "" {
+	if *listen != "" && cmd != "serve" {
 		srv, err := obs.ListenAndServe(*listen, observer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpspark:", err)
@@ -89,6 +98,14 @@ func main() {
 		fmt.Printf("observability endpoints on http://%s (/metrics /events /debug/critpath /healthz)\n", srv.Addr())
 	}
 	experiments.SetObserver(observer)
+	if cmd != "serve" {
+		// Batch commands stop gracefully: the first SIGINT/SIGTERM asks the
+		// driver loop to checkpoint and stop at the next iteration boundary
+		// (durable/resume poll the flag through core.Config.StopRequested);
+		// the second — or the first, for commands with no driver loop to
+		// interrupt — dumps the flight-recorder ring and exits.
+		handleSignals(observer, *flightOut, cmd == "durable" || cmd == "resume")
+	}
 
 	var run func(name string) error
 	run = func(name string) error {
@@ -308,11 +325,16 @@ func main() {
 			out, st, err := core.Run(ctx, bl, core.Config{
 				Rule: rule, BlockSize: *block, Driver: drv,
 				DurableDir: *dir, StopAfter: *stop,
+				StopRequested: stopRequested,
 			})
 			if err != nil {
 				return err
 			}
 			printDurableStats(ctx, st)
+			if stopFlag.Load() {
+				fmt.Printf("stop requested — checkpoint written at the stop boundary; complete the run with:\n  dpspark resume -dir %s\n", *dir)
+				return nil
+			}
 			if *stop > 0 && *stop < bl.R {
 				fmt.Printf("driver killed after %d of %d iterations — complete the run with:\n  dpspark resume -dir %s\n",
 					*stop, bl.R, *dir)
@@ -415,12 +437,17 @@ func main() {
 			out, st, err := core.Resume(ctx, meta, bl, core.Config{
 				Rule: rule, BlockSize: meta.B, Driver: drv,
 				Partitions: meta.Partitions, CheckpointEvery: meta.CheckpointEvery,
-				DurableDir: *dir,
+				DurableDir:    *dir,
+				StopRequested: stopRequested,
 			})
 			if err != nil {
 				return err
 			}
 			printDurableStats(ctx, st)
+			if stopFlag.Load() {
+				fmt.Printf("stop requested — checkpoint written at the stop boundary; run `dpspark resume -dir %s` again to finish\n", *dir)
+				return nil
+			}
 			fmt.Printf("result checksum: %016x (n=%d b=%d %s %v)\n",
 				denseChecksum(out.ToDense()), meta.N, meta.B, ruleFlagName(meta.Rule), drv)
 			return nil
@@ -500,6 +527,59 @@ func main() {
 				fmt.Println()
 			}
 			return nil
+		case "serve":
+			// Long-lived multi-tenant job service: many HTTP clients submit
+			// DP jobs onto one shared simulated cluster. Admission control
+			// bounds the queue (429 + Retry-After past it), per-tenant
+			// quotas stop any one tenant from starving the rest, and
+			// SIGTERM drains gracefully: stop admitting, give in-flight
+			// jobs -drain-grace to finish, then cancel cooperatively.
+			if *listen == "" {
+				return fmt.Errorf("serve: -listen is required (e.g. -listen :8080)")
+			}
+			srv, err := serve.New(serve.Config{
+				KernelThreads: *kernelThreads,
+				MaxQueue:      *maxQueue,
+				MaxRunning:    *maxJobs,
+				TenantRunning: *tenantRunning,
+				TenantPending: *tenantPending,
+				DrainGrace:    *drainGrace,
+				Observer:      observer,
+			})
+			if err != nil {
+				return err
+			}
+			h, err := srv.ListenAndServe(*listen)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("dpspark job service on http://%s (POST /jobs, GET /jobs, POST /jobs/{id}/cancel, /metrics, /events, /healthz)\n", h.Addr())
+			fmt.Printf("limits: %d running, %d queued, drain grace %s — SIGTERM drains gracefully\n",
+				*maxJobs, *maxQueue, *drainGrace)
+			ch := make(chan os.Signal, 2)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			sig := <-ch
+			fmt.Fprintf(os.Stderr, "dpspark: %v — draining (no new admissions; in-flight jobs get %s)\n", sig, *drainGrace)
+			go func() {
+				<-ch
+				fmt.Fprintln(os.Stderr, "dpspark: second signal — forced exit")
+				os.Exit(130)
+			}()
+			srv.Drain()
+			_ = h.Close()
+			var done, failed, cancelled int
+			for _, j := range srv.Jobs() {
+				switch j.State {
+				case serve.StateDone:
+					done++
+				case serve.StateFailed:
+					failed++
+				case serve.StateCancelled:
+					cancelled++
+				}
+			}
+			fmt.Printf("drained: %d done, %d failed, %d cancelled\n", done, failed, cancelled)
+			return nil
 		default:
 			usage()
 			return fmt.Errorf("unknown command %q", name)
@@ -559,6 +639,40 @@ func renderCritPath(title string, rows []report.CriticalPathRow) error {
 	}
 	fmt.Println()
 	return t.Render(os.Stdout)
+}
+
+// stopFlag is set by the first SIGINT/SIGTERM. The durable and resume
+// commands poll it through core.Config.StopRequested, which also forces
+// a checkpoint at the stop boundary, so a signalled run is restartable.
+var stopFlag atomic.Bool
+
+// stopRequested adapts stopFlag to core.Config.StopRequested.
+func stopRequested() bool { return stopFlag.Load() }
+
+// handleSignals makes batch commands stop gracefully. When cooperative,
+// the first SIGINT/SIGTERM only raises stopFlag — the driver loop
+// checkpoints and returns at the next iteration boundary and the normal
+// exit path (flight dump, trace/metrics export) still runs; the second
+// signal gives up waiting. Non-cooperative commands have no boundary to
+// stop at, so the first signal already dumps the flight ring and exits.
+func handleSignals(observer *obs.Observer, flightOut string, cooperative bool) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		if cooperative {
+			stopFlag.Store(true)
+			fmt.Fprintf(os.Stderr, "\ndpspark: %v — checkpointing and stopping at the next iteration boundary (repeat to force quit)\n", sig)
+			sig = <-ch
+		}
+		fmt.Fprintf(os.Stderr, "\ndpspark: %v — exiting\n", sig)
+		if flightOut != "" {
+			if err := writeFlight(observer, flightOut); err == nil {
+				fmt.Fprintf(os.Stderr, "dpspark: flight-recorder events written to %s\n", flightOut)
+			}
+		}
+		os.Exit(130)
+	}()
 }
 
 // writeFlight dumps the observer's flight-recorder ring as JSON lines.
@@ -750,6 +864,9 @@ commands:
   kernels     measured single-tile kernel scaling on this machine:
               per-size curves, serial↔parallel crossover, cores×threads split
   sweep       autotune search over the full tuning space
+  serve       long-lived multi-tenant job service: HTTP job submission with
+              admission control, per-tenant quotas + fault isolation on one
+              shared cluster, graceful drain on SIGTERM
   all         tables, figures and ablations
 
 flags: -n <size> (default 32768), -csv <dir>, -v,
@@ -761,6 +878,14 @@ flags: -n <size> (default 32768), -csv <dir>, -v,
        -trace <file> (Chrome trace-event JSON, load in Perfetto),
        -metrics <file> (Prometheus text dump),
        -critpath (per-run critical-path table + gauges),
-       -listen <addr> (live /metrics /events /debug/critpath /healthz),
-       -flight <file> (flight-recorder event tail as JSON lines)`))
+       -listen <addr> (live /metrics /events /debug/critpath /healthz;
+                       the serve command's job API binds here),
+       -flight <file> (flight-recorder event tail as JSON lines),
+       -max-queue / -max-jobs / -tenant-running / -tenant-pending /
+       -drain-grace <dur> (serve admission + drain limits)
+
+signals: SIGINT/SIGTERM stop batch commands gracefully — durable and
+resume checkpoint at the next iteration boundary first; a second signal
+(or the first, for commands with no driver loop) dumps the -flight ring
+and exits. serve drains: stops admitting, then cancels after -drain-grace.`))
 }

@@ -85,7 +85,10 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		// Truncate lineage per generation (see the IM driver); durable
 		// checkpoints follow the CheckpointEvery cadence.
 		ctx.SetPhase("checkpoint")
-		durable := (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1
+		stop := run.cfg.StopRequested != nil && run.cfg.StopRequested()
+		// A requested stop makes the boundary durable even off-cadence,
+		// so the graceful-shutdown path never loses a finished iteration.
+		durable := (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1 || stop
 		if err := run.checkpoint(dp, k, durable); err != nil {
 			return dp, err
 		}
@@ -93,6 +96,9 @@ func (run *runner) collectBroadcast(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error)
 		ctx.EmitDriverSpan(fmt.Sprintf("CB iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
+		}
+		if stop {
+			break
 		}
 		if run.cfg.StopAfter > 0 && k+1 >= run.cfg.StopAfter {
 			break

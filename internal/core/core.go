@@ -128,6 +128,15 @@ type Config struct {
 	// later Resume picks up from the last durable boundary. Default 0:
 	// run to completion.
 	StopAfter int
+	// StopRequested, when set, is polled at each iteration boundary: once
+	// it reports true the driver stops like StopAfter — but first forces
+	// a durable checkpoint at the stop boundary (when DurableDir is set),
+	// even off the CheckpointEvery cadence, so no finished iteration is
+	// lost. This is the cooperative hook behind graceful SIGTERM handling
+	// and server drain: a later Resume continues from the stop boundary,
+	// bit-identical. The function must be safe for concurrent use (it is
+	// typically an atomic flag set from a signal handler).
+	StopRequested func() bool
 }
 
 // normalize fills Config defaults and validates.

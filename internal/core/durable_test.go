@@ -245,6 +245,48 @@ func TestDurableStopAfter(t *testing.T) {
 	}
 }
 
+// TestDurableStopRequested: the cooperative stop hook (the signal
+// handler's path) stops the loop at the next iteration boundary and
+// forces a durable checkpoint there even off the CheckpointEvery
+// cadence, so resume continues from the stop point bit-identically.
+func TestDurableStopRequested(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rule := semiring.NewGaussian()
+	in := randomInput(rule, 32, rng)
+	full := chaosRun(t, rule, CB, in, nil)
+
+	dir := t.TempDir()
+	ctx := rdd.NewContext(durableConf(dir, 0, nil, nil))
+	// The flag flips after the first boundary poll: the run stops at
+	// iteration 2 — off the every-3 cadence, so the checkpoint there
+	// exists only because the stop forced it.
+	var polls int
+	cfg := Config{Rule: rule, BlockSize: 8, Driver: CB, Partitions: 8,
+		DurableDir: dir, CheckpointEvery: 3,
+		StopRequested: func() bool { polls++; return polls > 1 }}
+	bl := matrix.Block(in, cfg.BlockSize, rule.Pad(), rule.PadDiag())
+	if _, _, err := Run(ctx, bl, cfg); err != nil {
+		t.Fatalf("stopped run: %v", err)
+	}
+	meta, tbl, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after stop: %v", err)
+	}
+	if meta.Iteration != 2 {
+		t.Fatalf("stop boundary checkpoint cursor = %d, want the forced off-cadence 2", meta.Iteration)
+	}
+	rctx := rdd.NewContext(durableConf(dir, 0, nil, &meta.Engine))
+	rcfg := Config{Rule: rule, BlockSize: meta.B, Driver: CB,
+		Partitions: meta.Partitions, CheckpointEvery: meta.CheckpointEvery, DurableDir: dir}
+	out, _, err := Resume(rctx, meta, tbl, rcfg)
+	if err != nil {
+		t.Fatalf("resume after stop: %v", err)
+	}
+	if !bitIdentical(full.dense, out.ToDense()) {
+		t.Fatal("stop+resume differs from the uninterrupted bits")
+	}
+}
+
 // TestCheckpointGCRetention: KeepCheckpoints bounds the on-disk
 // checkpoint set to the newest K intact boundaries, without changing the
 // bits, and the pruned directory still resumes.

@@ -144,7 +144,10 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		// trades checkpoint stages against deeper recompute under failure.
 		// With DurableDir set the same materialization is also persisted
 		// for checkpoint–restart.
-		if (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1 {
+		stop := run.cfg.StopRequested != nil && run.cfg.StopRequested()
+		if (k+1)%run.cfg.CheckpointEvery == 0 || k == run.r-1 || stop {
+			// A requested stop forces the checkpoint even off-cadence, so
+			// the graceful-shutdown path never loses a finished iteration.
 			ctx.SetPhase("checkpoint")
 			if err := run.checkpoint(dp, k, true); err != nil {
 				return dp, err
@@ -154,6 +157,9 @@ func (run *runner) inMemory(dp *rdd.RDD[Block]) (*rdd.RDD[Block], error) {
 		ctx.EmitDriverSpan(fmt.Sprintf("IM iter %d", k), "iteration", iterStart, nil)
 		if err := ctx.Err(); err != nil {
 			return dp, err
+		}
+		if stop {
+			break
 		}
 		if run.cfg.StopAfter > 0 && k+1 >= run.cfg.StopAfter {
 			break

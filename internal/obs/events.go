@@ -25,6 +25,8 @@ const (
 	EvEviction      = "eviction"
 	EvReplication   = "replication"
 	EvCorrupt       = "corrupt-detected"
+	EvJobSubmit     = "job-submit"
+	EvJobFinish     = "job-finish"
 )
 
 // Event is one structured flight-recorder record. Integer fields use -1
@@ -66,6 +68,9 @@ type FlightRecorder struct {
 	n     int    // number of live records (≤ cap)
 	seq   uint64 // next sequence number
 	clock func() simtime.Duration
+	// dropped, when set, mirrors the ring's overwrite count into a
+	// metrics counter so scrapers see event loss without reading seqs.
+	dropped *Counter
 }
 
 // NewFlightRecorder returns an empty recorder holding at most capacity
@@ -82,6 +87,14 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 func (f *FlightRecorder) SetClockSource(fn func() simtime.Duration) {
 	f.mu.Lock()
 	f.clock = fn
+	f.mu.Unlock()
+}
+
+// SetDropCounter installs a metrics counter incremented every time the
+// full ring overwrites (drops) its oldest event.
+func (f *FlightRecorder) SetDropCounter(c *Counter) {
+	f.mu.Lock()
+	f.dropped = c
 	f.mu.Unlock()
 }
 
@@ -110,6 +123,9 @@ func (f *FlightRecorder) Record(ev Event) {
 	} else {
 		f.buf[f.head] = ev
 		f.head = (f.head + 1) % f.cap
+		if f.dropped != nil {
+			f.dropped.Inc()
+		}
 	}
 	f.mu.Unlock()
 }
@@ -147,6 +163,27 @@ func (f *FlightRecorder) Tail(n int) []Event {
 		return all
 	}
 	return all[len(all)-n:]
+}
+
+// Since returns the held events with Seq > seq, oldest-first — the
+// tailing cursor: a scraper remembers the last Seq it saw and asks only
+// for what is new, instead of re-reading the whole ring. Since(0) after
+// at least one event returns everything held except Seq 0 itself; use
+// Snapshot for a full read.
+func (f *FlightRecorder) Since(seq uint64) []Event {
+	all := f.Snapshot()
+	// Seqs are monotonically increasing through the ring, so binary
+	// search for the first event past the cursor.
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return all[lo:]
 }
 
 // WriteJSONL dumps the newest n events (all for n ≤ 0) as JSON lines,

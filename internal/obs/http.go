@@ -38,6 +38,24 @@ func (o *Observer) Handler() http.Handler {
 		_, _ = w.Write(buf.Bytes())
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		// ?since=SEQ tails events newer than a cursor (the last Seq the
+		// scraper saw), so pollers don't re-read the whole ring; ?n=N
+		// bounds a cursorless read to the newest N (default 256).
+		if q := r.URL.Query().Get("since"); q != "" {
+			seq, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, ev := range o.Flight().Since(seq) {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+			return
+		}
 		n := 256
 		if q := r.URL.Query().Get("n"); q != "" {
 			v, err := strconv.Atoi(q)

@@ -63,7 +63,7 @@ type Observer struct {
 // New returns an empty observer: metrics and the flight recorder
 // enabled, tracing and critical-path recording disabled.
 func New() *Observer {
-	return &Observer{
+	o := &Observer{
 		procs:   make(map[int]string),
 		threads: make(map[[2]int]string),
 		nextPid: 1,
@@ -71,6 +71,11 @@ func New() *Observer {
 		flight:  NewFlightRecorder(DefaultFlightCapacity),
 		crit:    newCritPathRecorder(),
 	}
+	// Ring overwrites surface as a counter so scrapers notice event loss
+	// (and can size their `since` polling accordingly) without diffing
+	// sequence numbers.
+	o.flight.SetDropCounter(o.reg.Counter("dpspark_flight_events_dropped_total", nil))
+	return o
 }
 
 // EnableTrace switches span collection on or off. Metrics are always

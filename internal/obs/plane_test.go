@@ -374,3 +374,104 @@ func TestListenAndServe(t *testing.T) {
 		t.Error("bad bind address must error synchronously")
 	}
 }
+
+// TestFlightRecorderSinceCursor: Since(seq) is the tailing cursor — it
+// returns exactly the events newer than the cursor, stays correct across
+// ring wrap (where the cursor may point at an already-overwritten seq),
+// and returns nothing once the caller is caught up.
+func TestFlightRecorderSinceCursor(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 3; i++ {
+		f.Record(Event{Type: EvStageSubmit, Stage: i, Attempt: 0, Part: -1, Node: -1, Shuffle: -1})
+	}
+	got := f.Since(0)
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("Since(0) = %+v, want seqs 1,2", got)
+	}
+	if got := f.Since(2); len(got) != 0 {
+		t.Fatalf("caught-up Since = %+v, want empty", got)
+	}
+	if got := f.Since(100); len(got) != 0 {
+		t.Fatalf("future cursor Since = %+v, want empty", got)
+	}
+
+	// Wrap the ring: seqs 0-1 are overwritten. A cursor pointing into the
+	// dropped range returns everything still held (the reader lost events
+	// and the Dropped counter says so); a cursor inside the held range
+	// returns the strict suffix.
+	for i := 3; i < 6; i++ {
+		f.Record(Event{Type: EvStageSubmit, Stage: i, Attempt: 0, Part: -1, Node: -1, Shuffle: -1})
+	}
+	if got := f.Since(1); len(got) != 4 || got[0].Seq != 2 {
+		t.Fatalf("Since(1) after wrap = %d events starting seq %d, want all 4 held from seq 2", len(got), got[0].Seq)
+	}
+	if got := f.Since(4); len(got) != 1 || got[0].Seq != 5 {
+		t.Fatalf("Since(4) after wrap = %+v, want just seq 5", got)
+	}
+	if f.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", f.Dropped())
+	}
+}
+
+// TestFlightDropCounter: the observer wires ring overwrites into
+// dpspark_flight_events_dropped_total so scrapers notice loss without
+// diffing sequence numbers.
+func TestFlightDropCounter(t *testing.T) {
+	o := New()
+	overflow := DefaultFlightCapacity + 7
+	for i := 0; i < overflow; i++ {
+		o.Flight().Record(Event{Type: EvTaskRetry, Stage: -1, Part: -1, Node: -1, Shuffle: -1})
+	}
+	if n := o.Metrics().CounterTotal("dpspark_flight_events_dropped_total"); n != 7 {
+		t.Fatalf("drop counter = %d, want 7", n)
+	}
+	if d := o.Flight().Dropped(); d != 7 {
+		t.Fatalf("Dropped() = %d, want 7", d)
+	}
+}
+
+// TestEventsSinceEndpoint: /events?since=SEQ serves the NDJSON suffix
+// past the cursor, so pollers scrape incrementally.
+func TestEventsSinceEndpoint(t *testing.T) {
+	o := New()
+	for i := 0; i < 5; i++ {
+		o.Flight().Record(Event{Clock: float64(i), Type: EvStageSubmit, Stage: i, Part: -1, Node: -1, Shuffle: -1})
+	}
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events?since=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("since=2 returned %d lines, want 2:\n%s", len(lines), body.String())
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if want := uint64(3 + i); ev.Seq != want {
+			t.Fatalf("line %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/events?since=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("since=bogus = %d, want 400", resp.StatusCode)
+		}
+	}
+}

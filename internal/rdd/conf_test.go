@@ -1,0 +1,149 @@
+package rdd
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/costmodel"
+	"dpspark/internal/simtime"
+)
+
+// TestConfNormalizationAllKnobs: one table across every Conf knob family
+// — cluster, fault/retry, speculation, durable store, remote tier, spill
+// models, kernels, substrate mounting — so every validation lives (and
+// stays) in the single normalize site.
+func TestConfNormalizationAllKnobs(t *testing.T) {
+	base := func() Conf { return Conf{Cluster: cluster.LocalN(2, 2)} }
+	cases := []struct {
+		name string
+		mut  func(*Conf)
+		want string // substring of the normalize error
+	}{
+		// Cluster family.
+		{"missing cluster", func(c *Conf) { c.Cluster = nil }, "Conf.Cluster is required"},
+
+		// Fault / retry family.
+		{"negative task attempts", func(c *Conf) { c.MaxTaskAttempts = -1 }, "MaxTaskAttempts"},
+		{"negative keep shuffles", func(c *Conf) { c.KeepShuffles = -1 }, "KeepShuffles"},
+		{"negative blacklist backoff", func(c *Conf) { c.BlacklistBackoff = -simtime.Second }, "BlacklistBackoff"},
+		{"speculation multiplier at 1", func(c *Conf) { c.SpeculationMultiplier = 1 }, "SpeculationMultiplier"},
+		{"negative speculation multiplier", func(c *Conf) { c.SpeculationMultiplier = -2 }, "SpeculationMultiplier"},
+		{"speculation quantile at 1", func(c *Conf) { c.SpeculationQuantile = 1 }, "SpeculationQuantile"},
+		{"negative speculation quantile", func(c *Conf) { c.SpeculationQuantile = -0.5 }, "SpeculationQuantile"},
+		{"fault plan names absent node", func(c *Conf) {
+			c.FaultPlan = &FaultPlan{Crashes: []ExecutorCrash{{Stage: 0, Node: 9}}}
+		}, "outside the 2-node cluster"},
+		{"fault plan straggler below 1", func(c *Conf) {
+			c.FaultPlan = &FaultPlan{Stragglers: []Straggler{{Stage: 0, Partition: 0, Factor: 0.5}}}
+		}, "factor 0.5 < 1"},
+
+		// Durable-store family.
+		{"negative memory budget", func(c *Conf) { c.MemoryBudget = -1 }, "MemoryBudget"},
+		{"budget without durable dir", func(c *Conf) { c.MemoryBudget = 64 }, "needs Conf.DurableDir"},
+
+		// Remote-tier family.
+		{"remote without durable", func(c *Conf) { c.RemoteDir = "somewhere" }, "RemoteDir needs Conf.DurableDir"},
+		{"negative remote timeout", func(c *Conf) { c.RemoteOpTimeout = -simtime.Second }, "RemoteOpTimeout"},
+		{"negative remote retries", func(c *Conf) { c.RemoteMaxRetries = -1 }, "RemoteMaxRetries"},
+		{"negative remote backoff", func(c *Conf) { c.RemoteBackoff = -simtime.Second }, "RemoteBackoff"},
+
+		// Spill-model family.
+		{"spill straggler below 1", func(c *Conf) { c.SpillStraggler = 0.9 }, "SpillStraggler"},
+		{"negative spill dilation", func(c *Conf) { c.SpillDilation = -1 }, "SpillDilation"},
+		{"both spill models", func(c *Conf) {
+			c.DurableDir, c.MemoryBudget = t.TempDir(), 64
+			c.SpillStraggler, c.SpillDilation = 8, 2
+		}, "mutually exclusive"},
+		{"dilation without budget", func(c *Conf) { c.SpillDilation = 2 }, "needs Conf.MemoryBudget"},
+
+		// Kernel family.
+		{"negative kernel threads", func(c *Conf) { c.KernelThreads = -1 }, "KernelThreads"},
+
+		// Substrate family.
+		{"priority without substrate", func(c *Conf) { c.Priority = 3 }, "Priority needs Conf.Substrate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conf := base()
+			tc.mut(&conf)
+			err := conf.normalize()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("normalize = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("substrate conflicts", func(t *testing.T) {
+		sub, err := NewSubstrate(SubstrateConf{Cluster: cluster.LocalN(2, 2), KernelThreads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name string
+			mut  func(*Conf)
+			want string
+		}{
+			{"cluster with substrate", func(c *Conf) { c.Cluster = cluster.LocalN(4, 2) }, "Conf.Cluster must be unset"},
+			{"params with substrate", func(c *Conf) {
+				p := costmodel.DefaultParams()
+				c.Params = &p
+			}, "Conf.Params must be unset"},
+			{"kernel threads with substrate", func(c *Conf) { c.KernelThreads = 4 }, "Conf.KernelThreads must be unset"},
+		} {
+			t.Run(tc.name, func(t *testing.T) {
+				conf := Conf{Substrate: sub}
+				tc.mut(&conf)
+				err := conf.normalize()
+				if err == nil || !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("normalize = %v, want mention of %q", err, tc.want)
+				}
+			})
+		}
+
+		// Mounting adopts the substrate's shared fields.
+		conf := Conf{Substrate: sub, Priority: 5}
+		if err := conf.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if conf.Cluster != sub.Cluster() || conf.KernelThreads != 2 {
+			t.Fatalf("mounted conf did not adopt substrate fields: cluster %v kernelThreads %d", conf.Cluster, conf.KernelThreads)
+		}
+		if conf.RealParallelism != sub.RealParallelism() {
+			t.Fatalf("RealParallelism = %d, want substrate's %d", conf.RealParallelism, sub.RealParallelism())
+		}
+	})
+
+	t.Run("defaults", func(t *testing.T) {
+		conf := base()
+		if err := conf.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if conf.MaxTaskAttempts != 4 || conf.KeepShuffles != 8 {
+			t.Fatalf("retry defaults: attempts %d keep %d", conf.MaxTaskAttempts, conf.KeepShuffles)
+		}
+		if conf.SpeculationMultiplier != 1.5 || conf.SpeculationQuantile != 0.75 {
+			t.Fatalf("speculation defaults: %g × quantile %g", conf.SpeculationMultiplier, conf.SpeculationQuantile)
+		}
+		if conf.RemoteOpTimeout != 2*simtime.Second || conf.RemoteMaxRetries != 3 || conf.RemoteBackoff != 500*simtime.Millisecond {
+			t.Fatalf("remote defaults: %v / %d / %v", conf.RemoteOpTimeout, conf.RemoteMaxRetries, conf.RemoteBackoff)
+		}
+		if conf.KernelThreads != 1 || conf.ExecutorCores != conf.Cluster.Node.Cores {
+			t.Fatalf("kernel defaults: threads %d cores %d", conf.KernelThreads, conf.ExecutorCores)
+		}
+		if conf.RealParallelism != runtime.NumCPU() || conf.Sizer == nil {
+			t.Fatalf("engine defaults: parallelism %d sizer %v", conf.RealParallelism, conf.Sizer)
+		}
+	})
+
+	t.Run("kernel cotune splits cores", func(t *testing.T) {
+		conf := Conf{Cluster: cluster.LocalN(2, 8), KernelThreads: 4}
+		if err := conf.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if conf.ExecutorCores != 2 {
+			t.Fatalf("ExecutorCores = %d, want 8 cores / 4 threads = 2", conf.ExecutorCores)
+		}
+	})
+}

@@ -20,7 +20,20 @@ import (
 // Conf configures an engine context — the spark-submit settings of the
 // paper's experiments.
 type Conf struct {
-	// Cluster describes the (simulated) hardware. Required.
+	// Substrate mounts the context on a shared scheduler/executor
+	// substrate (multi-tenant serving): the cluster spec, cost-model
+	// calibration, kernel pools and real task slots come from the
+	// substrate, so Cluster, Params and KernelThreads must be left zero.
+	// Lineage, shuffle state, fault plans and the virtual clock stay
+	// per-context. Nil (the default) gives the context its own substrate
+	// ingredients, exactly as before.
+	Substrate *Substrate
+	// Priority orders this context's tasks against sibling contexts on
+	// the same Substrate when real task slots are contended: higher wins,
+	// FIFO within a priority. Ignored without a Substrate.
+	Priority int
+	// Cluster describes the (simulated) hardware. Required unless
+	// Substrate is set (the substrate supplies it).
 	Cluster *cluster.Cluster
 	// Params overrides the cost-model calibration; nil uses defaults.
 	Params *costmodel.Params
@@ -124,6 +137,17 @@ type Conf struct {
 	// real spill timing, so enabling this trades clock determinism for
 	// memory-pressure fidelity (results stay bit-identical either way).
 	SpillStraggler float64
+	// SpillDilation > 0 enables continuous spill-aware dilation: instead
+	// of SpillStraggler's single worst-node factor, EVERY node's tasks
+	// are dilated by 1 + SpillDilation × (staged shuffle bytes on the
+	// node / MemoryBudget) when the block store shows fresh spill
+	// pressure — a node with twice the backlog runs twice as degraded.
+	// Requires MemoryBudget > 0 (the backlog is measured against it) and
+	// is mutually exclusive with SpillStraggler. 0 (the default)
+	// disables it; negative values are rejected. Like SpillStraggler the
+	// trigger reads real spill timing, so clock determinism is traded
+	// for memory-pressure fidelity (result bits are unaffected).
+	SpillDilation float64
 	// Restore seeds a fresh context with a checkpointed EngineState so a
 	// resumed run continues the stage/shuffle numbering and skips fault
 	// events that fired before the checkpoint. Validated against the
@@ -135,6 +159,28 @@ type Conf struct {
 // context construction path goes through it, so a hand-built Conf can
 // never smuggle an unnormalized value past NewContext.
 func (conf *Conf) normalize() error {
+	if conf.Substrate != nil {
+		// The substrate owns everything shared across mounted jobs; a
+		// per-job override of those fields would silently diverge from
+		// what siblings see, so they must be left zero.
+		if conf.Cluster != nil && conf.Cluster != conf.Substrate.cluster {
+			return fmt.Errorf("rdd: Conf.Cluster must be unset with Conf.Substrate — the substrate supplies the cluster")
+		}
+		if conf.Params != nil && conf.Params != conf.Substrate.params {
+			return fmt.Errorf("rdd: Conf.Params must be unset with Conf.Substrate — the substrate supplies the calibration")
+		}
+		if conf.KernelThreads != 0 && conf.KernelThreads != conf.Substrate.kernelThreads {
+			return fmt.Errorf("rdd: Conf.KernelThreads must be unset with Conf.Substrate — the substrate owns the kernel pools")
+		}
+		conf.Cluster = conf.Substrate.cluster
+		conf.Params = conf.Substrate.params
+		conf.KernelThreads = conf.Substrate.kernelThreads
+		if conf.RealParallelism <= 0 {
+			conf.RealParallelism = conf.Substrate.realPar
+		}
+	} else if conf.Priority != 0 {
+		return fmt.Errorf("rdd: Conf.Priority needs Conf.Substrate — priorities order jobs contending for shared task slots")
+	}
 	if conf.Cluster == nil {
 		return fmt.Errorf("rdd: Conf.Cluster is required")
 	}
@@ -183,6 +229,15 @@ func (conf *Conf) normalize() error {
 	}
 	if conf.SpillStraggler < 0 || (conf.SpillStraggler > 0 && conf.SpillStraggler <= 1) {
 		return fmt.Errorf("rdd: Conf.SpillStraggler must be > 1 (0 disables spill-aware scheduling), got %g", conf.SpillStraggler)
+	}
+	if conf.SpillDilation < 0 {
+		return fmt.Errorf("rdd: Conf.SpillDilation must be ≥ 0 (0 disables continuous spill dilation), got %g", conf.SpillDilation)
+	}
+	if conf.SpillDilation > 0 && conf.SpillStraggler > 0 {
+		return fmt.Errorf("rdd: Conf.SpillDilation and Conf.SpillStraggler are mutually exclusive — pick the continuous or the worst-node model")
+	}
+	if conf.SpillDilation > 0 && conf.MemoryBudget <= 0 {
+		return fmt.Errorf("rdd: Conf.SpillDilation %g needs Conf.MemoryBudget > 0 — the backlog is measured against the budget", conf.SpillDilation)
 	}
 	if conf.Restore != nil {
 		if err := validateRestore(conf.Restore, conf.FaultPlan, conf.Cluster.Nodes); err != nil {
@@ -259,6 +314,19 @@ type Context struct {
 	// node's pool to its kernel invocations, so intra-kernel workers are
 	// bounded per node, not per task.
 	kernelPools []*kernels.Pool
+
+	// substrate is the shared scheduler/executor layer (nil for solo
+	// contexts): when set, every real task execution first acquires one
+	// of its slots, so concurrent sibling jobs interleave on a bounded
+	// executor pool instead of each spawning RealParallelism goroutines.
+	substrate *Substrate
+
+	// cancel is closed by Cancel (idempotent); cancelErr is the cause,
+	// written under mu before the close so readers that observe the
+	// closed channel always see it.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	cancelErr  error
 
 	// faults is the fired-event/blacklist state for Conf.FaultPlan (nil
 	// without a plan); rec are the recovery counters, recm their
@@ -413,18 +481,24 @@ func NewContext(conf Conf) *Context {
 		conf.Observer = obs.New()
 	}
 	c := &Context{
-		conf:     conf,
-		model:    m,
-		simul:    sim.New(m, conf.ExecutorCores),
-		sizer:    conf.Sizer,
-		obsv:     conf.Observer,
-		shuffles: make(map[int]*shuffleState),
-		memUsed:  make([]int64, conf.Cluster.Nodes),
+		conf:      conf,
+		model:     m,
+		simul:     sim.New(m, conf.ExecutorCores),
+		sizer:     conf.Sizer,
+		obsv:      conf.Observer,
+		substrate: conf.Substrate,
+		cancel:    make(chan struct{}),
+		shuffles:  make(map[int]*shuffleState),
+		memUsed:   make([]int64, conf.Cluster.Nodes),
 	}
 	if conf.FaultPlan != nil {
 		c.faults = newFaultState(conf.FaultPlan, conf.Cluster.Nodes)
 	}
-	if conf.KernelThreads > 1 {
+	if conf.Substrate != nil {
+		// Mounted jobs share the substrate's per-node kernel pools so
+		// real kernel workers stay bounded per node across all tenants.
+		c.kernelPools = conf.Substrate.kernelPools
+	} else if conf.KernelThreads > 1 {
 		c.kernelPools = make([]*kernels.Pool, conf.Cluster.Nodes)
 		for n := range c.kernelPools {
 			c.kernelPools[n] = kernels.NewPool(conf.KernelThreads)
@@ -557,17 +631,72 @@ func (c *Context) Ledger() *simtime.Ledger { return c.simul.Ledger }
 // TimedOut reports whether the virtual clock passed the 8-hour bound.
 func (c *Context) TimedOut() bool { return c.simul.TimedOut() }
 
+// ErrJobCanceled is the default cancellation cause: Context.Err (and
+// action results) wrap or equal it after Cancel, so callers distinguish
+// a cancelled job from a failed one with errors.Is.
+var ErrJobCanceled = fmt.Errorf("rdd: job canceled")
+
+// Cancel requests cooperative cancellation: in-flight tasks finish
+// their current attempt, queued tasks (and slot waiters on a shared
+// Substrate) abort, and Err reports the cause from then on — so driver
+// loops checking Err at iteration boundaries stop promptly. A nil
+// cause means ErrJobCanceled; wrap ErrJobCanceled to attach context
+// (e.g. a deadline) while keeping errors.Is working. Idempotent: the
+// first cause wins.
+func (c *Context) Cancel(cause error) {
+	c.cancelOnce.Do(func() {
+		if cause == nil {
+			cause = ErrJobCanceled
+		}
+		c.mu.Lock()
+		c.cancelErr = cause
+		c.mu.Unlock()
+		close(c.cancel)
+	})
+}
+
+// Canceled returns a channel closed once the context is cancelled.
+func (c *Context) Canceled() <-chan struct{} { return c.cancel }
+
+// CancelCause returns the cancellation cause, or nil if the context is
+// not cancelled.
+func (c *Context) CancelCause() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelErr
+}
+
+// acquireSlot takes one substrate-wide real-execution slot (highest
+// Conf.Priority first), or reports false if the context is cancelled
+// while waiting. Always true without a mounted substrate.
+func (c *Context) acquireSlot() bool {
+	if c.substrate == nil {
+		return true
+	}
+	return c.substrate.sched.acquire(c.conf.Priority, c.cancel)
+}
+
+// releaseSlot returns a slot taken by acquireSlot.
+func (c *Context) releaseSlot() {
+	if c.substrate != nil {
+		c.substrate.sched.release()
+	}
+}
+
 // Err returns the first failure (staging disk full, executor memory
-// exceeded), if any.
+// exceeded, cancellation), if any.
 func (c *Context) Err() error {
 	c.mu.Lock()
-	memErr, taskErr := c.memErr, c.taskErr
+	memErr, taskErr, cancelErr := c.memErr, c.taskErr, c.cancelErr
 	c.mu.Unlock()
 	if taskErr != nil {
 		return taskErr
 	}
 	if memErr != nil {
 		return memErr
+	}
+	if cancelErr != nil {
+		return cancelErr
 	}
 	return c.simul.Err()
 }
@@ -737,6 +866,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	crashed := c.fireStageFaults(stageID)
 	asOf := c.Clock()
 	spillNode := c.spillStragglerNode()
+	spillFactors := c.spillDilationFactors()
 	parts := spec.parts
 	c.obsv.Flight().Record(obs.Event{
 		Clock: asOf.Seconds(), Type: obs.EvStageSubmit,
@@ -757,6 +887,26 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 		var lost simtime.Duration
 		failures := 0
 		for {
+			select {
+			case <-c.cancel:
+				// Cooperative cancellation: abandon the task between
+				// attempts; the recorded cause makes the next action (and
+				// the driver loop's Err check) surface the cancellation.
+				c.recordTaskErr(c.CancelCause())
+				return
+			default:
+			}
+			// On a shared Substrate each attempt holds one substrate-wide
+			// task slot for its real execution only. Recovery and retry run
+			// slot-free: recoverShuffle resubmits the parent map stage,
+			// whose tasks need slots of their own, so holding one across it
+			// would self-deadlock on a narrow substrate (one slot suffices
+			// for any recovery depth this way). A cancelled wait abandons
+			// the task; the cause surfaces through Err like a task failure.
+			if !c.acquireSlot() {
+				c.recordTaskErr(c.CancelCause())
+				return
+			}
 			node := c.placeNode(split, asOf)
 			if failures == 0 && crashed[c.nodeOf(split)] {
 				// The executor dies under its running first attempts; the
@@ -814,9 +964,23 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 					c.rec.spillStragglers.Add(1)
 					c.recm.spillStragglers.Inc()
 				}
+				if tc.Node >= 0 && tc.Node < len(spillFactors) && spillFactors[tc.Node] > 1 && tc.compute > 0 {
+					// Continuous spill-aware dilation: every node degrades
+					// in proportion to its own staged backlog. Recorded in
+					// slowed like the worst-node model, so speculation
+					// still prices the healthy duration and fires copies.
+					extra := simtime.Duration(tc.compute.Seconds() * (spillFactors[tc.Node] - 1))
+					tc.slowed += extra
+					tc.spillSlow += extra
+					tc.compute += extra
+					c.rec.spillStragglers.Add(1)
+					c.recm.spillStragglers.Inc()
+				}
 				tc.compute += lost // failed attempts' work is not free
+				c.releaseSlot()
 				return
 			}
+			c.releaseSlot()
 			lost += tc.compute
 			var ff *FetchFailedError
 			if ffe, ok := err.(*FetchFailedError); ok {
@@ -881,6 +1045,13 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	var spill, fetch, shared int64
 	tasks := make([]sim.Task, parts, parts+parts/4)
 	for i, tc := range tcs {
+		if tc == nil {
+			// The task was abandoned before its first attempt (cancelled
+			// mid-stage); model it as an empty task so the stage report
+			// stays well-formed while Err carries the cause.
+			tc = &TaskContext{StageID: stageID, Partition: spec.split(i), Node: c.nodeOf(spec.split(i)), ctx: c}
+			tcs[i] = tc
+		}
 		spill += tc.spill
 		fetch += tc.fetchLocal + tc.fetchRemote
 		shared += tc.sharedRead + tc.sharedWrite
@@ -1015,6 +1186,57 @@ func (c *Context) spillStragglerNode() int {
 		}
 	}
 	return node
+}
+
+// spillDilationFactors implements continuous spill-aware dilation
+// (Conf.SpillDilation): under the same fresh-spill-pressure trigger as
+// spillStragglerNode, every node's dilation factor is
+// 1 + SpillDilation × (its staged shuffle bytes across live shuffles /
+// MemoryBudget) — proportional degradation instead of a single
+// worst-node penalty. Returns nil when the feature is off or no new
+// pressure was seen; entries ≤ 1 mean no dilation for that node.
+func (c *Context) spillDilationFactors() []float64 {
+	if c.conf.SpillDilation <= 0 || c.store == nil {
+		return nil
+	}
+	c.store.Flush()
+	sw := c.store.Stats().SpillWall
+	c.mu.Lock()
+	grew := sw > c.spillWallSeen
+	if grew {
+		c.spillWallSeen = sw
+	}
+	var live []*shuffleState
+	if grew {
+		live = make([]*shuffleState, 0, len(c.shuffleLog))
+		for _, id := range c.shuffleLog {
+			if st := c.shuffles[id]; st != nil {
+				live = append(live, st)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if live == nil {
+		return nil
+	}
+	backlog := make([]int64, c.conf.Cluster.Nodes)
+	for _, st := range live {
+		st.mu.RLock()
+		if st.done && !st.retired {
+			for n, b := range st.spillByNode {
+				if n < len(backlog) {
+					backlog[n] += b
+				}
+			}
+		}
+		st.mu.RUnlock()
+	}
+	factors := make([]float64, len(backlog))
+	budget := float64(c.conf.MemoryBudget)
+	for n, b := range backlog {
+		factors[n] = 1 + c.conf.SpillDilation*float64(b)/budget
+	}
+	return factors
 }
 
 // speculate applies speculative execution to a stage's virtual tasks:

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /jobs             submit a JobSpec; 202 with the job's status,
+//	                       400 on an invalid spec, 429 + Retry-After
+//	                       when the queue or a tenant quota is full,
+//	                       503 while draining
+//	GET  /jobs             list all jobs, newest first
+//	GET  /jobs/{id}        one job's status
+//	POST /jobs/{id}/cancel cancel a queued or running job
+//
+// plus the observer's scrape endpoints (/metrics, /healthz, /events,
+// /debug/critpath) on the same mux, so one port serves job control,
+// per-tenant counters and engine metrics together.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	obsH := s.obsv.Handler()
+	for _, p := range []string{"/healthz", "/metrics", "/events", "/debug/critpath"} {
+		mux.Handle(p, obsH)
+	}
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad JobSpec: %v", err))
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			var rej *errRejected
+			if errors.As(err, &rej) {
+				if rej.reason == "draining" {
+					writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+					return
+				}
+				// Overloaded, not broken: tell the client when to come
+				// back instead of queueing unboundedly. The hint scales
+				// with the backlog so retries spread out under load.
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+				writeJSONError(w, http.StatusTooManyRequests, rej.reason)
+				return
+			}
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st, _ := s.Status(j.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			writeJSONError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := s.Cancel(id, nil); err != nil {
+			st, ok := s.Status(id)
+			if !ok {
+				writeJSONError(w, http.StatusNotFound, "no such job")
+				return
+			}
+			// Already finished: report the conflict with the final state.
+			writeJSON(w, http.StatusConflict, st)
+			return
+		}
+		st, _ := s.Status(id)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	return mux
+}
+
+// retryAfterSeconds estimates when an admission retry could succeed:
+// one second per queued job ahead, at least one.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.queue); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeJSONError renders {"error": msg}.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// HTTPServer is a running job-service listener.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (":0" for an ephemeral port) and serves the
+// job service in the background. The bind is synchronous so callers see
+// bad addresses immediately.
+func (s *Server) ListenAndServe(addr string) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound address.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close shuts the listener down without draining jobs — call
+// Server.Drain first for a graceful stop.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

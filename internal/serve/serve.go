@@ -1,0 +1,703 @@
+// Package serve is the multi-tenant DP job service behind `dpspark
+// serve`: a long-lived server that admits many concurrent jobs (rule,
+// driver, shape, seed, priority, deadline) and schedules their stages
+// onto ONE shared simulated cluster via rdd.Substrate — the
+// cluster-manager role Spark delegates to YARN/Mesos/K8s, moved into
+// the engine.
+//
+// Robustness is the point of the package:
+//
+//   - Admission control: the job queue is bounded; over-capacity and
+//     over-quota submissions are rejected with 429 + Retry-After
+//     instead of queueing unboundedly, with zero effect on in-flight
+//     jobs.
+//   - Tenant isolation: every job gets its own rdd.Context (lineage,
+//     shuffle state, fault plan, virtual clock), so one tenant's
+//     injected faults recover through the usual machinery without
+//     perturbing any other tenant's result bits or modelled time.
+//   - Overload degradation: per-job panic containment (a failing job
+//     reports an error result; the server and sibling jobs keep
+//     running), deadlines enforced by cooperative cancellation, and
+//     graceful drain on SIGTERM (stop admitting, let in-flight jobs
+//     finish within a grace window, then cancel what remains and dump
+//     the flight recorder).
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dpspark/internal/cluster"
+	"dpspark/internal/core"
+	"dpspark/internal/matrix"
+	"dpspark/internal/obs"
+	"dpspark/internal/rdd"
+	"dpspark/internal/semiring"
+)
+
+// Config configures the job service.
+type Config struct {
+	// Cluster is the shared simulated cluster every job's stages are
+	// scheduled onto. Default: cluster.LocalN(4, 2).
+	Cluster *cluster.Cluster
+	// KernelThreads is the shared per-node kernel pool width (see
+	// rdd.SubstrateConf). Default 1: serial kernels.
+	KernelThreads int
+	// RealParallelism bounds the real task-execution slots shared by
+	// every running job. Default: runtime.NumCPU() (via the substrate).
+	RealParallelism int
+	// MaxQueue bounds the admission queue: submissions arriving with
+	// MaxQueue jobs already queued are rejected with 429. Default 16;
+	// negative values are rejected.
+	MaxQueue int
+	// MaxRunning bounds concurrently executing jobs. Default 2;
+	// negative values are rejected.
+	MaxRunning int
+	// TenantRunning caps one tenant's concurrently running jobs (its
+	// share of MaxRunning). Default: MaxRunning — no per-tenant cap.
+	TenantRunning int
+	// TenantPending caps one tenant's queued jobs; submissions beyond
+	// it are rejected with 429 even while the global queue has room.
+	// Default: MaxQueue — no per-tenant cap.
+	TenantPending int
+	// DrainGrace is how long Drain waits for in-flight jobs to finish
+	// before cancelling them. Default 30s; negative values are rejected.
+	DrainGrace time.Duration
+	// Observer receives every job's metrics and flight events (plus the
+	// server's per-tenant job counters), so one /metrics endpoint serves
+	// the whole process. Default: a fresh observer.
+	Observer *obs.Observer
+
+	// hook, when set, runs inside each job's goroutine right before the
+	// engine run — the test seam for panic containment.
+	hook func(j *Job)
+}
+
+// normalize validates and defaults the Config in place — the single
+// validation site, like rdd.Conf.normalize.
+func (cfg *Config) normalize() error {
+	if cfg.MaxQueue < 0 {
+		return fmt.Errorf("serve: Config.MaxQueue must be ≥ 0 (0 means the default 16), got %d", cfg.MaxQueue)
+	}
+	if cfg.MaxRunning < 0 {
+		return fmt.Errorf("serve: Config.MaxRunning must be ≥ 0 (0 means the default 2), got %d", cfg.MaxRunning)
+	}
+	if cfg.TenantRunning < 0 {
+		return fmt.Errorf("serve: Config.TenantRunning must be ≥ 0 (0 means no per-tenant cap), got %d", cfg.TenantRunning)
+	}
+	if cfg.TenantPending < 0 {
+		return fmt.Errorf("serve: Config.TenantPending must be ≥ 0 (0 means no per-tenant cap), got %d", cfg.TenantPending)
+	}
+	if cfg.DrainGrace < 0 {
+		return fmt.Errorf("serve: Config.DrainGrace must be ≥ 0 (0 means the default 30s), got %v", cfg.DrainGrace)
+	}
+	if cfg.KernelThreads < 0 {
+		return fmt.Errorf("serve: Config.KernelThreads must be ≥ 0 (0 means serial kernels), got %d", cfg.KernelThreads)
+	}
+	if cfg.RealParallelism < 0 {
+		return fmt.Errorf("serve: Config.RealParallelism must be ≥ 0 (0 means NumCPU), got %d", cfg.RealParallelism)
+	}
+	if cfg.Cluster == nil {
+		cfg.Cluster = cluster.LocalN(4, 2)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.MaxRunning == 0 {
+		cfg.MaxRunning = 2
+	}
+	if cfg.TenantRunning == 0 || cfg.TenantRunning > cfg.MaxRunning {
+		cfg.TenantRunning = cfg.MaxRunning
+	}
+	if cfg.TenantPending == 0 || cfg.TenantPending > cfg.MaxQueue {
+		cfg.TenantPending = cfg.MaxQueue
+	}
+	if cfg.DrainGrace == 0 {
+		cfg.DrainGrace = 30 * time.Second
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = obs.New()
+	}
+	return nil
+}
+
+// JobSpec is the submission payload.
+type JobSpec struct {
+	// Tenant attributes the job for quotas and metrics. Default "default".
+	Tenant string `json:"tenant"`
+	// Bench selects the update rule: "fw" (min-plus closure) or "ge"
+	// (Gaussian elimination). Default "fw".
+	Bench string `json:"bench"`
+	// Driver selects the engine driver: "im" or "cb". Default "im".
+	Driver string `json:"driver"`
+	// N and Block are the matrix size and tile size. Defaults 128 / 32.
+	N     int `json:"n"`
+	Block int `json:"block"`
+	// Seed deterministically generates the input matrix, so the same
+	// (bench, n, block, seed) job always produces the same checksum.
+	Seed int64 `json:"seed"`
+	// Priority orders this job against others contending for executor
+	// slots and the run queue: higher wins, FIFO within a priority.
+	Priority int `json:"priority"`
+	// DeadlineMS, when > 0, cancels the job that many real milliseconds
+	// after it is admitted (cooperative: tasks finish their current
+	// attempt).
+	DeadlineMS int64 `json:"deadline_ms"`
+	// ChaosSeed, with ChaosCrashes > 0, injects a seeded fault plan
+	// (executor crashes, 2 stragglers, 1 staging-disk loss — the chaos
+	// subcommand's mix) into THIS job only; recovery must not perturb
+	// sibling jobs.
+	ChaosSeed    int64 `json:"chaos_seed"`
+	ChaosCrashes int   `json:"chaos_crashes"`
+}
+
+// validate checks and defaults a submitted spec.
+func (sp *JobSpec) validate() error {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	if sp.Bench == "" {
+		sp.Bench = "fw"
+	}
+	if sp.Bench != "fw" && sp.Bench != "ge" {
+		return fmt.Errorf("serve: unknown bench %q (want fw or ge)", sp.Bench)
+	}
+	if sp.Driver == "" {
+		sp.Driver = "im"
+	}
+	if sp.Driver != "im" && sp.Driver != "cb" {
+		return fmt.Errorf("serve: unknown driver %q (want im or cb)", sp.Driver)
+	}
+	if sp.N == 0 {
+		sp.N = 128
+	}
+	if sp.Block == 0 {
+		sp.Block = 32
+	}
+	if sp.N < 1 || sp.Block < 1 || sp.Block > sp.N {
+		return fmt.Errorf("serve: invalid shape n=%d block=%d (need 1 ≤ block ≤ n)", sp.N, sp.Block)
+	}
+	if sp.N > 4096 {
+		return fmt.Errorf("serve: n=%d exceeds the serving cap 4096 — submit a batch run instead", sp.N)
+	}
+	if sp.DeadlineMS < 0 {
+		return fmt.Errorf("serve: deadline_ms must be ≥ 0, got %d", sp.DeadlineMS)
+	}
+	if sp.ChaosCrashes < 0 {
+		return fmt.Errorf("serve: chaos_crashes must be ≥ 0, got %d", sp.ChaosCrashes)
+	}
+	return nil
+}
+
+// rule resolves the spec's semiring rule.
+func (sp *JobSpec) rule() semiring.Rule {
+	if sp.Bench == "ge" {
+		return semiring.NewGaussian()
+	}
+	return semiring.NewFloydWarshall()
+}
+
+// driverKind resolves the spec's driver.
+func (sp *JobSpec) driverKind() core.DriverKind {
+	if sp.Driver == "cb" {
+		return core.CB
+	}
+	return core.IM
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Job is one admitted job. All mutable fields are guarded by the
+// server's mu.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	state     JobState
+	seq       uint64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// ctx is the job's engine context, set once the job starts; cancel
+	// requests arriving earlier are remembered in cancelCause.
+	ctx         *rdd.Context
+	cancelCause error
+
+	checksum uint64
+	modelled float64 // virtual seconds
+	errMsg   string
+}
+
+// errServerDraining is the cancellation cause drain applies to jobs it
+// cannot let finish.
+var errServerDraining = fmt.Errorf("server draining: %w", rdd.ErrJobCanceled)
+
+// errDeadline marks deadline cancellations (wraps rdd.ErrJobCanceled so
+// the engine treats it as a cancel; the distinct message reaches the
+// job's error field).
+func errDeadline(d time.Duration) error {
+	return fmt.Errorf("deadline %v exceeded: %w", d, rdd.ErrJobCanceled)
+}
+
+// Server is the job service. Create with New, mount Handler on an HTTP
+// server, and Drain before exit.
+type Server struct {
+	cfg  Config
+	sub  *rdd.Substrate
+	obsv *obs.Observer
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	queue         []*Job // admitted, not yet running
+	seq           uint64
+	running       int
+	tenantRunning map[string]int
+	tenantPending map[string]int
+	draining      bool
+	wg            sync.WaitGroup
+
+	queuedGauge  *obs.Gauge
+	runningGauge *obs.Gauge
+}
+
+// New builds a server over one shared substrate.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sub, err := rdd.NewSubstrate(rdd.SubstrateConf{
+		Cluster:         cfg.Cluster,
+		KernelThreads:   cfg.KernelThreads,
+		RealParallelism: cfg.RealParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:           cfg,
+		sub:           sub,
+		obsv:          cfg.Observer,
+		jobs:          make(map[string]*Job),
+		tenantRunning: make(map[string]int),
+		tenantPending: make(map[string]int),
+	}
+	s.queuedGauge = s.obsv.Metrics().Gauge("dpspark_jobs_queued", nil)
+	s.runningGauge = s.obsv.Metrics().Gauge("dpspark_jobs_running", nil)
+	return s, nil
+}
+
+// Observer returns the server's observability sink (shared with every
+// job's engine context).
+func (s *Server) Observer() *obs.Observer { return s.obsv }
+
+// jobCounter resolves one of the per-tenant job counters.
+func (s *Server) jobCounter(outcome, tenant string) *obs.Counter {
+	return s.obsv.Metrics().Counter("dpspark_jobs_"+outcome+"_total", obs.Labels{"tenant": tenant})
+}
+
+// rejectedCounter carries the rejection reason alongside the tenant.
+func (s *Server) rejectedCounter(tenant, reason string) *obs.Counter {
+	return s.obsv.Metrics().Counter("dpspark_jobs_rejected_total", obs.Labels{"tenant": tenant, "reason": reason})
+}
+
+// errRejected is returned by Submit for admission-control rejections;
+// the HTTP layer maps it to 429 (or 503 while draining).
+type errRejected struct {
+	reason string // "queue_full" | "tenant_quota" | "draining"
+}
+
+func (e *errRejected) Error() string { return "serve: rejected: " + e.reason }
+
+// Submit validates, admits and enqueues a job, returning its ID. A
+// *errRejected error means admission control turned the job away (the
+// queue or the tenant's pending quota is full, or the server is
+// draining) — with zero effect on admitted jobs.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejectedCounter(spec.Tenant, "draining").Inc()
+		return nil, &errRejected{reason: "draining"}
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.rejectedCounter(spec.Tenant, "queue_full").Inc()
+		return nil, &errRejected{reason: "queue_full"}
+	}
+	if s.tenantPending[spec.Tenant] >= s.cfg.TenantPending {
+		s.rejectedCounter(spec.Tenant, "tenant_quota").Inc()
+		return nil, &errRejected{reason: "tenant_quota"}
+	}
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.seq),
+		Spec:      spec,
+		state:     StateQueued,
+		seq:       s.seq,
+		submitted: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	s.tenantPending[spec.Tenant]++
+	s.jobCounter("admitted", spec.Tenant).Inc()
+	s.obsv.Flight().Record(obs.Event{
+		Type: obs.EvJobSubmit, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: fmt.Sprintf("%s tenant=%s %s/%s n=%d prio=%d", j.ID, spec.Tenant, spec.Bench, spec.Driver, spec.N, spec.Priority),
+	})
+	s.dispatchLocked()
+	s.updateGaugesLocked()
+	return j, nil
+}
+
+// dispatchLocked starts queued jobs while run capacity allows: highest
+// priority first, FIFO within a priority, skipping tenants at their
+// running cap. Caller holds mu.
+func (s *Server) dispatchLocked() {
+	for s.running < s.cfg.MaxRunning {
+		best := -1
+		for i, j := range s.queue {
+			if s.tenantRunning[j.Spec.Tenant] >= s.cfg.TenantRunning {
+				continue
+			}
+			if best < 0 || j.Spec.Priority > s.queue[best].Spec.Priority ||
+				(j.Spec.Priority == s.queue[best].Spec.Priority && j.seq < s.queue[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		j := s.queue[best]
+		s.queue = append(s.queue[:best], s.queue[best+1:]...)
+		s.tenantPending[j.Spec.Tenant]--
+		s.tenantRunning[j.Spec.Tenant]++
+		s.running++
+		j.state = StateRunning
+		j.started = time.Now()
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+}
+
+// updateGaugesLocked refreshes the queue/running gauges. Caller holds mu.
+func (s *Server) updateGaugesLocked() {
+	s.queuedGauge.Set(float64(len(s.queue)))
+	s.runningGauge.Set(float64(s.running))
+}
+
+// runJob executes one job on its own engine context mounted on the
+// shared substrate. Panics anywhere in the job (kernel bugs, bad
+// configs) are contained here: the job fails, the server and sibling
+// jobs keep running.
+func (s *Server) runJob(j *Job) {
+	defer s.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			s.finishJob(j, 0, 0, fmt.Errorf("panic: %v", p))
+		}
+	}()
+	if s.cfg.hook != nil {
+		s.cfg.hook(j)
+	}
+
+	spec := j.Spec
+	var plan *rdd.FaultPlan
+	if spec.ChaosCrashes > 0 {
+		r := (spec.N + spec.Block - 1) / spec.Block
+		// The chaos subcommand's mix: crashes as requested, plus two
+		// stragglers and one staging-disk loss over the planned stages.
+		plan = rdd.RandomFaultPlan(spec.ChaosSeed, 4*r, s.cfg.Cluster.Nodes, spec.ChaosCrashes, 2, 1)
+	}
+	ctx := rdd.NewContext(rdd.Conf{
+		Substrate: s.sub,
+		Priority:  spec.Priority,
+		FaultPlan: plan,
+		Observer:  s.obsv,
+	})
+
+	// Publish the context so Cancel reaches the engine, honouring a
+	// cancel that raced the start.
+	s.mu.Lock()
+	j.ctx = ctx
+	if cause := j.cancelCause; cause != nil {
+		ctx.Cancel(cause)
+	}
+	s.mu.Unlock()
+
+	if spec.DeadlineMS > 0 {
+		// The deadline counts from admission — time spent queued behind
+		// other tenants burns the budget too, so an overloaded server
+		// sheds overdue queued work instead of running it late.
+		d := time.Duration(spec.DeadlineMS) * time.Millisecond
+		if dl := j.submitted.Add(d); time.Now().Before(dl) {
+			timer := time.AfterFunc(time.Until(dl), func() { ctx.Cancel(errDeadline(d)) })
+			defer timer.Stop()
+		} else {
+			ctx.Cancel(errDeadline(d))
+		}
+	}
+
+	rule := spec.rule()
+	in := inputFor(rule, spec.N, spec.Seed)
+	bl := matrix.Block(in, spec.Block, rule.Pad(), rule.PadDiag())
+	out, st, err := core.Run(ctx, bl, core.Config{
+		Rule: rule, BlockSize: spec.Block, Driver: spec.driverKind(),
+	})
+	var sum uint64
+	var modelled float64
+	if st != nil {
+		modelled = st.Time.Seconds()
+	}
+	if err == nil && out != nil {
+		sum = denseChecksum(out.ToDense())
+	}
+	s.finishJob(j, sum, modelled, err)
+}
+
+// finishJob records a job's outcome and frees its run slot.
+func (s *Server) finishJob(j *Job, sum uint64, modelled float64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	j.checksum = sum
+	j.modelled = modelled
+	outcome := "completed"
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, rdd.ErrJobCanceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		outcome = "cancelled"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		outcome = "failed"
+	}
+	s.running--
+	s.tenantRunning[j.Spec.Tenant]--
+	s.jobCounter(outcome, j.Spec.Tenant).Inc()
+	s.obsv.Flight().Record(obs.Event{
+		Type: obs.EvJobFinish, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: fmt.Sprintf("%s tenant=%s state=%s checksum=%016x", j.ID, j.Spec.Tenant, j.state, sum),
+	})
+	s.dispatchLocked()
+	s.updateGaugesLocked()
+}
+
+// Cancel cancels a job by ID: queued jobs leave the queue immediately,
+// running jobs are cancelled cooperatively (their tasks finish the
+// current attempt, then the driver loop stops). Finished jobs return an
+// error.
+func (s *Server) Cancel(id string, cause error) error {
+	if cause == nil {
+		cause = rdd.ErrJobCanceled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("serve: no such job %q", id)
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.tenantPending[j.Spec.Tenant]--
+		j.state = StateCancelled
+		j.errMsg = cause.Error()
+		j.finished = time.Now()
+		s.jobCounter("cancelled", j.Spec.Tenant).Inc()
+		s.dispatchLocked()
+		s.updateGaugesLocked()
+		return nil
+	case StateRunning:
+		j.cancelCause = cause
+		if j.ctx != nil {
+			j.ctx.Cancel(cause)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: job %s already %s", id, j.state)
+	}
+}
+
+// Drain gracefully shuts the service down: stop admitting, cancel the
+// queue, give running jobs DrainGrace to finish, cancel what remains,
+// and wait for everything to unwind. Safe to call more than once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	for _, j := range s.queue {
+		j.state = StateCancelled
+		j.errMsg = errServerDraining.Error()
+		j.finished = time.Now()
+		s.tenantPending[j.Spec.Tenant]--
+		s.jobCounter("cancelled", j.Spec.Tenant).Inc()
+	}
+	s.queue = nil
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainGrace):
+		// Grace expired: cancel in-flight jobs cooperatively and wait
+		// for them to unwind (cancellation aborts between task attempts
+		// and at iteration boundaries, so this is prompt).
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.cancelCause = errServerDraining
+				if j.ctx != nil {
+					j.ctx.Cancel(errServerDraining)
+				}
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Draining reports whether Drain has been requested.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID              string   `json:"id"`
+	Tenant          string   `json:"tenant"`
+	State           JobState `json:"state"`
+	Bench           string   `json:"bench"`
+	Driver          string   `json:"driver"`
+	N               int      `json:"n"`
+	Block           int      `json:"block"`
+	Seed            int64    `json:"seed"`
+	Priority        int      `json:"priority"`
+	Submitted       string   `json:"submitted,omitempty"`
+	Started         string   `json:"started,omitempty"`
+	Finished        string   `json:"finished,omitempty"`
+	ModelledSeconds float64  `json:"modelled_seconds,omitempty"`
+	Checksum        string   `json:"checksum,omitempty"`
+	Error           string   `json:"error,omitempty"`
+}
+
+// statusLocked renders a job. Caller holds mu.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.ID, Tenant: j.Spec.Tenant, State: j.state,
+		Bench: j.Spec.Bench, Driver: j.Spec.Driver,
+		N: j.Spec.N, Block: j.Spec.Block, Seed: j.Spec.Seed,
+		Priority:        j.Spec.Priority,
+		ModelledSeconds: j.modelled,
+		Error:           j.errMsg,
+	}
+	if !j.submitted.IsZero() {
+		st.Submitted = j.submitted.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone {
+		st.Checksum = fmt.Sprintf("%016x", j.checksum)
+	}
+	return st
+}
+
+// Status returns one job's status.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// Jobs lists every known job, newest first.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i].seq > all[k].seq })
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.statusLocked()
+	}
+	return out
+}
+
+// inputFor deterministically generates a job's input matrix from its
+// seed — the same (bench, n, seed) always yields the same matrix, so
+// checksums are comparable across runs and against solo invocations.
+func inputFor(rule semiring.Rule, n int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := matrix.NewDense(n)
+	if _, ok := rule.(semiring.GaussianRule); ok {
+		d.FillDiagonallyDominant(rng)
+		return d
+	}
+	d.Fill(func(i, j int) float64 {
+		switch {
+		case i == j:
+			return 0
+		case rng.Float64() < 0.3:
+			return math.Inf(1)
+		default:
+			return 1 + math.Floor(rng.Float64()*9)
+		}
+	})
+	return d
+}
+
+// denseChecksum fingerprints a result matrix bit-exactly (FNV-1a over
+// the raw float bits — NaN/Inf/signed-zero safe). This is the number
+// the isolation invariant compares: it must match the same job's solo
+// run bit for bit.
+func denseChecksum(d *matrix.Dense) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range d.Data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
