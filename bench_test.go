@@ -24,6 +24,7 @@ import (
 	"dpspark/internal/matrix"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
 	"dpspark/internal/store"
 )
 
@@ -268,6 +269,41 @@ func BenchmarkRecoveryOverhead(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkRecoveryDetectionLatency sweeps the heartbeat failure
+// detector's lease interval under a fixed crash plan: interval 0 is the
+// legacy instant-detection baseline; longer leases delay every
+// declaration by misses × interval of modelled time. Reported metrics:
+// modelled seconds and the detection wait the run absorbed.
+func BenchmarkRecoveryDetectionLatency(b *testing.B) {
+	const stages, blk = 32, 1024
+	plan := rdd.RandomFaultPlan(recoveryBenchSeed, stages, cluster.Skylake16().Nodes, 2, 2, 1)
+	run := func(interval simtime.Duration) *core.Stats {
+		ctx := rdd.NewContext(rdd.Conf{
+			Cluster:           cluster.Skylake16(),
+			Speculation:       true,
+			FaultPlan:         plan,
+			HeartbeatInterval: interval,
+		})
+		bl := matrix.NewSymbolicBlocked(benchN, blk)
+		_, stats, err := core.Run(ctx, bl, core.Config{
+			Rule: semiring.NewFloydWarshall(), BlockSize: blk, Driver: core.IM,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return stats
+	}
+	for _, interval := range []simtime.Duration{0, simtime.Second, 2 * simtime.Second, 5 * simtime.Second} {
+		b.Run("interval"+itoa(int(interval.Seconds()))+"s", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats := run(interval)
+				b.ReportMetric(stats.Time.Seconds(), "model_s")
+				b.ReportMetric(stats.DetectionTime.Seconds(), "detection_s")
+			}
+		})
 	}
 }
 

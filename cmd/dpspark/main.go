@@ -42,6 +42,7 @@ import (
 	"dpspark/internal/report"
 	"dpspark/internal/semiring"
 	"dpspark/internal/serve"
+	"dpspark/internal/simtime"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func main() {
 	verbose := fs.Bool("v", false, "print per-cell cost breakdowns")
 	seed := fs.Int64("seed", 20260805, "fault-plan seed (chaos command) / input seed (durable command)")
 	crashes := fs.Int("crashes", 2, "executor crashes to schedule (chaos command)")
+	gcpauses := fs.Int("gcpause", 0, "stop-the-world GC pauses to schedule; turns on the heartbeat failure detector, so pauses outliving the lease count are falsely declared dead (chaos command)")
+	rackfails := fs.Int("rackfail", 0, "correlated rack failures to schedule on a 4-rack topology (chaos command)")
 	dir := fs.String("dir", "", "durable block-store + checkpoint directory (durable/resume commands)")
 	bench := fs.String("bench", "fw", "benchmark: fw or ge (durable command)")
 	driverName := fs.String("driver", "im", "driver: im or cb (durable command)")
@@ -240,17 +243,35 @@ func main() {
 			// recovery counters, and the phase breakdown with its
 			// recovery column.
 			cl := cluster.Skylake16()
+			const chaosRacks = 4
+			if *rackfails > 0 {
+				cl = cl.WithRacks(chaosRacks)
+			}
+			detector := *gcpauses > 0 || *rackfails > 0
 			const blk = 1024
 			r := (*n + blk - 1) / blk
 			plan := rdd.RandomFaultPlan(*seed, 4*r, cl.Nodes, *crashes, 2, 1)
-			fmt.Printf("chaos plan (seed %d): %d executor crashes, %d stragglers, %d disk losses over %d planned stages\n\n",
-				*seed, len(plan.Crashes), len(plan.Stragglers), len(plan.DiskLosses), 4*r)
+			if *gcpauses > 0 {
+				plan = plan.WithRandomGCPauses(*seed+1, 4*r, cl.Nodes, *gcpauses)
+			}
+			if *rackfails > 0 {
+				plan = plan.WithRandomRackFailures(*seed+2, 4*r, chaosRacks, *rackfails)
+			}
+			fmt.Printf("chaos plan (seed %d): %d executor crashes, %d stragglers, %d disk losses, %d gc pauses, %d rack failures over %d planned stages\n",
+				*seed, len(plan.Crashes), len(plan.Stragglers), len(plan.DiskLosses), len(plan.GCPauses), len(plan.RackFailures), 4*r)
+			if detector {
+				fmt.Printf("heartbeat failure detector: 2s lease, dead after 2 missed leases (4s detection latency)\n")
+			}
+			fmt.Println()
 			rows := make([]report.BreakdownRow, 0, 4)
 			var cpRows []report.CriticalPathRow
 			for _, driver := range []core.DriverKind{core.IM, core.CB} {
 				var cleanS float64
 				for _, faulted := range []bool{false, true} {
 					conf := rdd.Conf{Cluster: cl, Speculation: true, Observer: observer, KernelThreads: *kernelThreads}
+					if detector {
+						conf.HeartbeatInterval = 2 * simtime.Second
+					}
 					name := fmt.Sprintf("%v clean", driver)
 					if faulted {
 						conf.FaultPlan = plan
@@ -272,6 +293,12 @@ func main() {
 							"%d task retries, %d blacklist placements, %d speculative copies (%d wins)\n",
 							rs.FetchFailures, rs.StageResubmits, rs.RecomputedMapPartitions,
 							rs.TaskRetries, rs.BlacklistPlacements, rs.SpeculativeTasks, rs.SpeculationWins)
+						if detector {
+							fmt.Printf("  detector: %d suspicions (%d false), %d fenced zombie commits, "+
+								"%d rack failures, %d throttled resubmits, %.0fs detection wait\n",
+								rs.Suspicions, rs.FalseSuspicions, rs.FencedCommits,
+								rs.RackFailures, rs.StormThrottledResubmits, st.DetectionTime.Seconds())
+						}
 					} else {
 						cleanS = st.Time.Seconds()
 					}
@@ -854,7 +881,9 @@ commands:
   ablations   partitioner / partitions / r_shared / baseline comparisons
   explain     per-iteration plan: kernel counts, copies, moved bytes
   apsp        one observable FW-APSP run with its phase breakdown
-  chaos       FW-APSP under a seeded fault plan: recovery overhead per driver
+  chaos       FW-APSP under a seeded fault plan: recovery overhead per
+              driver; -gcpause/-rackfail add false-suspicion and
+              correlated fault-domain events under a heartbeat detector
   durable     real run through the checksummed block store with driver
               checkpoints; -stop K kills the driver after K iterations
   remote      restore-vs-recompute demo: one crash recovered from remote
@@ -870,7 +899,7 @@ commands:
   all         tables, figures and ablations
 
 flags: -n <size> (default 32768), -csv <dir>, -v,
-       -seed <n> / -crashes <n> (chaos fault plan),
+       -seed <n> / -crashes <n> / -gcpause <n> / -rackfail <n> (chaos fault plan),
        -dir <dir> / -bench fw|ge / -driver im|cb / -budget <bytes> /
        -stop <k> / -size <n> / -block <b> (durable + resume),
        -kernel-threads <t> (row-band parallel kernels in real-mode runs;

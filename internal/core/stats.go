@@ -75,6 +75,25 @@ type Stats struct {
 	// degraded mode (one per remote-outage window passed through).
 	RemoteRetries, DegradedWindows int64
 
+	// DetectionTime is the modelled clock spent waiting for the
+	// heartbeat failure detector to declare executors dead (latency =
+	// Config.HeartbeatMisses × Config.HeartbeatInterval per declaring
+	// stage boundary). Like RecoveryTime it overlaps the component sum
+	// (the wait is also attributed to OverheadTime); 0 with the detector
+	// off or no declarations.
+	DetectionTime simtime.Duration
+	// Suspicions and FalseSuspicions count failure-detector verdicts:
+	// executors suspected after a missed heartbeat lease, and alive
+	// executors (GC pause, network partition) wrongly declared dead
+	// after the full lease count. FencedCommits counts zombie-attempt
+	// map outputs rejected by the commit lease. All zero with the
+	// detector off.
+	Suspicions, FalseSuspicions, FencedCommits int64
+	// StormThrottledResubmits counts stage resubmissions delayed by the
+	// recovery-storm token bucket (Config.RecoveryTokens); RackFailures
+	// counts fired correlated fault-domain losses.
+	StormThrottledResubmits, RackFailures int64
+
 	// CritPath is the run's critical-path report (nil unless the
 	// observer's critical-path recorder was enabled for the run). Its Len
 	// equals Time up to virtual-clock float resolution.
@@ -150,6 +169,13 @@ func (m RunMark) StatsSince(ctx *rdd.Context, iterations int) *Stats {
 		RecomputedBlocks: rs.RecomputedBlocks - m.rs.RecomputedBlocks,
 		RemoteRetries:    rs.RemoteRetries - m.rs.RemoteRetries,
 		DegradedWindows:  rs.DegradedWindows - m.rs.DegradedWindows,
+
+		DetectionTime:           bd.Detection,
+		Suspicions:              rs.Suspicions - m.rs.Suspicions,
+		FalseSuspicions:         rs.FalseSuspicions - m.rs.FalseSuspicions,
+		FencedCommits:           rs.FencedCommits - m.rs.FencedCommits,
+		StormThrottledResubmits: rs.StormThrottledResubmits - m.rs.StormThrottledResubmits,
+		RackFailures:            rs.RackFailures - m.rs.RackFailures,
 	}
 	ps, pi, ph := ctx.KernelPoolStats()
 	s.KernelSpawned = ps - m.poolSpawned

@@ -16,12 +16,16 @@ const (
 	PhaseOverhead  = "overhead"
 	PhaseRecovery  = "recovery"
 	PhaseSpill     = "spill"
+	// PhaseDetection is the failure-detector share: modelled time spent
+	// waiting for missed heartbeats before a crashed (or falsely
+	// suspected) executor becomes scheduler-visible.
+	PhaseDetection = "detection"
 )
 
 // CritPhases lists every phase in the report's canonical display order.
 var CritPhases = []string{
 	PhaseCompute, PhaseShuffle, PhaseBroadcast,
-	PhaseRecovery, PhaseSpill, PhaseOverhead,
+	PhaseRecovery, PhaseDetection, PhaseSpill, PhaseOverhead,
 }
 
 // CritBranch is one executor node's serial io→compute chain inside a

@@ -27,6 +27,9 @@ const (
 	EvCorrupt       = "corrupt-detected"
 	EvJobSubmit     = "job-submit"
 	EvJobFinish     = "job-finish"
+	EvSuspicion     = "suspicion"
+	EvFencedCommit  = "fenced-commit"
+	EvThrottle      = "recovery-throttle"
 )
 
 // Event is one structured flight-recorder record. Integer fields use -1
@@ -51,6 +54,10 @@ type Event struct {
 	Shuffle int `json:"shuffle"`
 	// Detail carries free-form context (fault kind, block key, error).
 	Detail string `json:"detail,omitempty"`
+	// Job labels the event with the owning job's ID when the producing
+	// context runs inside a multi-tenant service; empty for standalone
+	// runs. /events?job=ID filters on it.
+	Job string `json:"job,omitempty"`
 }
 
 // DefaultFlightCapacity is the ring size used by New.

@@ -40,20 +40,29 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		// ?since=SEQ tails events newer than a cursor (the last Seq the
 		// scraper saw), so pollers don't re-read the whole ring; ?n=N
-		// bounds a cursorless read to the newest N (default 256).
+		// bounds a cursorless read to the newest N (default 256);
+		// ?job=ID keeps only one tenant job's events, so a serve client
+		// can tail its own flight records without seeing neighbours.
+		job := r.URL.Query().Get("job")
+		writeEvents := func(events []Event) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for _, ev := range events {
+				if job != "" && ev.Job != job {
+					continue
+				}
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+		}
 		if q := r.URL.Query().Get("since"); q != "" {
 			seq, err := strconv.ParseUint(q, 10, 64)
 			if err != nil {
 				http.Error(w, "bad since", http.StatusBadRequest)
 				return
 			}
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			enc := json.NewEncoder(w)
-			for _, ev := range o.Flight().Since(seq) {
-				if err := enc.Encode(ev); err != nil {
-					return
-				}
-			}
+			writeEvents(o.Flight().Since(seq))
 			return
 		}
 		n := 256
@@ -65,8 +74,7 @@ func (o *Observer) Handler() http.Handler {
 			}
 			n = v
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = o.Flight().WriteJSONL(w, n)
+		writeEvents(o.Flight().Tail(n))
 	})
 	mux.HandleFunc("/debug/critpath", func(w http.ResponseWriter, _ *http.Request) {
 		cp := o.CritPath()

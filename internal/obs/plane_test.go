@@ -475,3 +475,65 @@ func TestEventsSinceEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestEventsJobFilter: /events?job=ID serves only one tenant job's
+// events, composing with both the ?since cursor and the ?n tail.
+func TestEventsJobFilter(t *testing.T) {
+	o := New()
+	for i := 0; i < 6; i++ {
+		job := "job-1"
+		if i%2 == 1 {
+			job = "job-2"
+		}
+		o.Flight().Record(Event{Clock: float64(i), Type: EvStageSubmit, Job: job, Stage: i, Part: -1, Node: -1, Shuffle: -1})
+	}
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	fetch := func(query string) []Event {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		var out []Event
+		for _, line := range strings.Split(strings.TrimSpace(body.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("line not JSON: %v\n%s", err, line)
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+
+	evs := fetch("?job=job-1")
+	if len(evs) != 3 {
+		t.Fatalf("job=job-1 returned %d events, want 3", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Job != "job-1" {
+			t.Fatalf("foreign event leaked through the job filter: %+v", ev)
+		}
+	}
+	if evs := fetch("?since=2&job=job-2"); len(evs) != 2 {
+		t.Fatalf("since=2&job=job-2 returned %d events, want 2", len(evs))
+	} else {
+		for _, ev := range evs {
+			if ev.Job != "job-2" || ev.Seq <= 2 {
+				t.Fatalf("cursor+job filter broken: %+v", ev)
+			}
+		}
+	}
+	if evs := fetch("?job=job-3"); len(evs) != 0 {
+		t.Fatalf("unknown job returned %d events, want 0", len(evs))
+	}
+}

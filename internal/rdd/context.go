@@ -148,6 +148,37 @@ type Conf struct {
 	// trigger reads real spill timing, so clock determinism is traded
 	// for memory-pressure fidelity (result bits are unaffected).
 	SpillDilation float64
+	// HeartbeatInterval enables the heartbeat/lease failure detector:
+	// executors heartbeat the driver every HeartbeatInterval modelled
+	// seconds, the scheduler suspects a node after one missed lease and
+	// declares it dead after HeartbeatMisses consecutive misses — so every
+	// declared loss charges HeartbeatMisses × HeartbeatInterval of
+	// detection latency to the modelled clock (Breakdown.Detection,
+	// critical-path phase "detection") before recovery can begin. 0 (the
+	// default) keeps the legacy omniscient delivery: injected faults are
+	// scheduler-visible the instant they fire, with zero latency. Negative
+	// values are rejected. Required for FaultPlan GC pauses and network
+	// partitions — false suspicion only exists with a detector.
+	HeartbeatInterval simtime.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeats turn a
+	// suspect node into a declared-dead one (default 2 when the detector
+	// is on). Needs HeartbeatInterval; negative values are rejected.
+	HeartbeatMisses int
+	// RecoveryTokens enables recovery-storm throttling: a token bucket of
+	// this capacity gates stage resubmissions, so a mass failure (rack
+	// loss) drains in bounded waves instead of stampeding recompute. Each
+	// resubmission takes a token; an empty bucket charges the modelled
+	// wait until the next refill. 0 (the default) disables throttling;
+	// negative values are rejected.
+	RecoveryTokens int
+	// RecoveryRefill is the modelled interval at which the storm bucket
+	// mints one token back (default 1 virtual second when RecoveryTokens
+	// is set). Needs RecoveryTokens; negative values are rejected.
+	RecoveryRefill simtime.Duration
+	// JobLabel tags every flight-recorder event this context produces with
+	// a job ID, so multi-tenant observers can filter /events?job=ID down
+	// to one tenant. Empty (the default) leaves events unlabelled.
+	JobLabel string
 	// Restore seeds a fresh context with a checkpointed EngineState so a
 	// resumed run continues the stage/shuffle numbering and skips fault
 	// events that fired before the checkpoint. Validated against the
@@ -199,9 +230,36 @@ func (conf *Conf) normalize() error {
 	if conf.SpeculationQuantile < 0 || conf.SpeculationQuantile >= 1 {
 		return fmt.Errorf("rdd: Conf.SpeculationQuantile must be in [0, 1) (0 means the default 0.75), got %g", conf.SpeculationQuantile)
 	}
+	if conf.HeartbeatInterval < 0 {
+		return fmt.Errorf("rdd: Conf.HeartbeatInterval must be ≥ 0 (0 disables the failure detector), got %v", conf.HeartbeatInterval)
+	}
+	if conf.HeartbeatMisses < 0 {
+		return fmt.Errorf("rdd: Conf.HeartbeatMisses must be ≥ 0 (0 means the default 2), got %d", conf.HeartbeatMisses)
+	}
+	if conf.HeartbeatMisses > 0 && conf.HeartbeatInterval == 0 {
+		return fmt.Errorf("rdd: Conf.HeartbeatMisses needs Conf.HeartbeatInterval — the lease count is meaningless without a heartbeat period")
+	}
+	if conf.HeartbeatInterval > 0 && conf.HeartbeatMisses == 0 {
+		conf.HeartbeatMisses = 2
+	}
+	if conf.RecoveryTokens < 0 {
+		return fmt.Errorf("rdd: Conf.RecoveryTokens must be ≥ 0 (0 disables recovery-storm throttling), got %d", conf.RecoveryTokens)
+	}
+	if conf.RecoveryRefill < 0 {
+		return fmt.Errorf("rdd: Conf.RecoveryRefill must be ≥ 0 (0 means the default 1s), got %v", conf.RecoveryRefill)
+	}
+	if conf.RecoveryRefill > 0 && conf.RecoveryTokens == 0 {
+		return fmt.Errorf("rdd: Conf.RecoveryRefill needs Conf.RecoveryTokens — a refill interval without a bucket throttles nothing")
+	}
+	if conf.RecoveryTokens > 0 && conf.RecoveryRefill == 0 {
+		conf.RecoveryRefill = 1 * simtime.Second
+	}
 	if conf.FaultPlan != nil {
-		if err := conf.FaultPlan.validate(conf.Cluster.Nodes); err != nil {
+		if err := conf.FaultPlan.validate(conf.Cluster.Nodes, conf.Cluster.Racks); err != nil {
 			return err
+		}
+		if conf.HeartbeatInterval == 0 && (len(conf.FaultPlan.GCPauses) > 0 || len(conf.FaultPlan.Partitions) > 0) {
+			return fmt.Errorf("rdd: FaultPlan GC pauses / network partitions need Conf.HeartbeatInterval > 0 — false suspicion only exists with a heartbeat failure detector")
 		}
 	}
 	if conf.MemoryBudget < 0 {
@@ -337,6 +395,14 @@ type Context struct {
 
 	laneNames sync.Once
 
+	// stormMu guards the recovery-storm token bucket (Conf.RecoveryTokens):
+	// stormTokens is the current token count, stormLast the virtual time
+	// tokens were last minted. Separate from mu because the take charges
+	// driver time (advanceDriver) while held.
+	stormMu     sync.Mutex
+	stormTokens int
+	stormLast   simtime.Duration
+
 	mu            sync.Mutex
 	spillWallSeen time.Duration
 	nextDataset   int
@@ -396,6 +462,13 @@ type Breakdown struct {
 	// time there too) and is therefore NOT part of Total(); it answers
 	// "how much of the run was failure recovery".
 	Recovery simtime.Duration
+	// Detection is the clock time spent waiting for the heartbeat failure
+	// detector to declare losses (Conf.HeartbeatInterval ×
+	// Conf.HeartbeatMisses per declaration wave). Like Recovery it is an
+	// overlapping attribution (the wait also lands in Overhead) and NOT
+	// part of Total(); it answers "how much of the run was failure
+	// detection latency". Always 0 with the detector off.
+	Detection simtime.Duration
 	// ShuffleWriteBytes and ShuffleFetchBytes count shuffle traffic.
 	ShuffleWriteBytes, ShuffleFetchBytes int64
 	// BroadcastBytes counts shared-filesystem traffic (staged + fetched).
@@ -417,6 +490,7 @@ func (b Breakdown) Sub(other Breakdown) Breakdown {
 		Broadcast:         b.Broadcast - other.Broadcast,
 		Overhead:          b.Overhead - other.Overhead,
 		Recovery:          b.Recovery - other.Recovery,
+		Detection:         b.Detection - other.Detection,
 		ShuffleWriteBytes: b.ShuffleWriteBytes - other.ShuffleWriteBytes,
 		ShuffleFetchBytes: b.ShuffleFetchBytes - other.ShuffleFetchBytes,
 		BroadcastBytes:    b.BroadcastBytes - other.BroadcastBytes,
@@ -452,8 +526,19 @@ type shuffleState struct {
 	epoch int
 	// attempts counts map-stage executions (1 = initial run).
 	attempts int
-	done     bool
-	retired  bool
+	// commitLease is the attempt index currently holding the map-output
+	// commit lease: only that attempt's buckets may register in the merge.
+	// Each map-stage execution takes the lease as it launches, so a
+	// resubmission triggered by a false suspicion revokes the zombie
+	// attempt's right to commit before its late output can land.
+	commitLease int
+	// zombieParts maps a map partition invalidated by a false suspicion to
+	// the commit lease its stale output was registered under. The recovery
+	// merge consults it: dropping the stale refs is the zombie's commit
+	// arriving late, and the lease mismatch fences it (counted, evented).
+	zombieParts map[int]int
+	done        bool
+	retired     bool
 
 	recMu sync.Mutex
 }
@@ -491,6 +576,7 @@ func NewContext(conf Conf) *Context {
 		shuffles:  make(map[int]*shuffleState),
 		memUsed:   make([]int64, conf.Cluster.Nodes),
 	}
+	c.stormTokens = conf.RecoveryTokens
 	if conf.FaultPlan != nil {
 		c.faults = newFaultState(conf.FaultPlan, conf.Cluster.Nodes)
 	}
@@ -525,6 +611,19 @@ func NewContext(conf Conf) *Context {
 		c.store.AttachRemote(tier, func(key string) bool {
 			return strings.HasPrefix(key, "shuffle/")
 		})
+		if cl := conf.Cluster; cl.Racks > 1 {
+			// Domain-aware replica placement: a replica must never share a
+			// fault domain with the block it protects, or a rack failure
+			// takes both. Origin domain = the rack of the map partition's
+			// home executor, parsed from the shuffle block key.
+			c.store.SetReplicaDomains(cl.Racks, func(key string) int {
+				var id, m, r int
+				if _, err := fmt.Sscanf(key, "shuffle/%d/m%d/r%d", &id, &m, &r); err != nil {
+					return 0
+				}
+				return cl.RackOf(c.nodeOf(m))
+			})
+		}
 	}
 	if conf.Restore != nil {
 		c.restoreEngineState(conf.Restore)
@@ -759,6 +858,65 @@ func (c *Context) advanceDriver(d simtime.Duration, cat simtime.Category, critPh
 	}
 }
 
+// recordEvent forwards one flight-recorder event, stamped with the
+// context's job label (Conf.JobLabel) so multi-tenant observers can
+// filter /events down to one tenant. Every rdd-side producer goes
+// through it; events from contexts without a label stay unlabelled.
+func (c *Context) recordEvent(ev obs.Event) {
+	ev.Job = c.conf.JobLabel
+	c.obsv.Flight().Record(ev)
+}
+
+// takeRecoveryToken implements recovery-storm throttling
+// (Conf.RecoveryTokens): each stage resubmission consumes one token from
+// a bucket refilled at one token per Conf.RecoveryRefill of modelled
+// time. An empty bucket charges the wait until the next refill to the
+// modelled clock (overhead, attributed to recovery), so a mass failure —
+// a rack loss invalidating many shuffles at once — drains in bounded
+// waves instead of stampeding recompute. No-op with throttling off.
+func (c *Context) takeRecoveryToken() {
+	if c.conf.RecoveryTokens <= 0 {
+		return
+	}
+	c.stormMu.Lock()
+	defer c.stormMu.Unlock()
+	now := c.Clock()
+	if now > c.stormLast {
+		if minted := int((now - c.stormLast) / c.conf.RecoveryRefill); minted > 0 {
+			c.stormTokens += minted
+			if c.stormTokens > c.conf.RecoveryTokens {
+				c.stormTokens = c.conf.RecoveryTokens
+			}
+			c.stormLast += simtime.Duration(minted) * c.conf.RecoveryRefill
+		}
+	}
+	if c.stormTokens > 0 {
+		c.stormTokens--
+		return
+	}
+	// Bucket empty: this resubmission waits out the next refill on the
+	// modelled clock. Holding stormMu across the charge serializes
+	// concurrent waiters, so each consumes a successive refill slot.
+	wait := c.stormLast + c.conf.RecoveryRefill - now
+	if wait < 0 {
+		wait = 0
+	}
+	c.stormLast += c.conf.RecoveryRefill
+	c.rec.stormThrottled.Add(1)
+	c.recm.detStormThrottled.Inc()
+	c.recordEvent(obs.Event{
+		Clock: now.Seconds(), Type: obs.EvThrottle,
+		Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: fmt.Sprintf("recovery-storm bucket empty, waiting %s for a token", wait),
+	})
+	if wait > 0 {
+		c.advanceDriver(wait, simtime.Overhead, obs.PhaseRecovery)
+		c.mu.Lock()
+		c.bd.Recovery += wait
+		c.mu.Unlock()
+	}
+}
+
 // addBroadcastBytes accounts driver-staged broadcast payload bytes.
 func (c *Context) addBroadcastBytes(n int64) {
 	c.mu.Lock()
@@ -868,7 +1026,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 	spillNode := c.spillStragglerNode()
 	spillFactors := c.spillDilationFactors()
 	parts := spec.parts
-	c.obsv.Flight().Record(obs.Event{
+	c.recordEvent(obs.Event{
 		Clock: asOf.Seconds(), Type: obs.EvStageSubmit,
 		Stage: stageID, Attempt: spec.attempt, Part: -1, Node: -1,
 		Shuffle: spec.shuffleID,
@@ -989,7 +1147,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 			if ff != nil {
 				c.rec.fetchFailures.Add(1)
 				c.recm.fetchFailures.Inc()
-				c.obsv.Flight().Record(obs.Event{
+				c.recordEvent(obs.Event{
 					Clock: -1, Type: obs.EvFetchFailure,
 					Stage: stageID, Attempt: spec.attempt, Part: split,
 					Node: ff.Node, Shuffle: ff.ShuffleID,
@@ -1007,7 +1165,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 			}
 			c.rec.taskRetries.Add(1)
 			c.recm.taskRetries.Inc()
-			c.obsv.Flight().Record(obs.Event{
+			c.recordEvent(obs.Event{
 				Clock: -1, Type: obs.EvTaskRetry,
 				Stage: stageID, Attempt: spec.attempt, Part: split,
 				Node: tc.Node, Shuffle: -1, Detail: err.Error(),
@@ -1112,7 +1270,7 @@ func (c *Context) execStage(spec stageSpec, work func(tc *TaskContext, idx, spli
 			Branches: branches,
 		})
 	}
-	c.obsv.Flight().Record(obs.Event{
+	c.recordEvent(obs.Event{
 		Clock: (rep.Start + rep.Total).Seconds(), Type: obs.EvStageComplete,
 		Stage: stageID, Attempt: spec.attempt, Part: -1, Node: -1,
 		Shuffle: spec.shuffleID,
@@ -1267,13 +1425,28 @@ func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.D
 		}
 		// The copy needs a live executor other than the straggler's own;
 		// without one (single-node cluster, or every other node
-		// blacklisted) the task is left to finish where it runs.
+		// blacklisted) the task is left to finish where it runs. With rack
+		// topology the scan prefers a node OFF the straggler's fault
+		// domain — slowness indicts the domain (shared ToR/PDU, a rack-wide
+		// GC of a noisy neighbour), so the copy must not share it — and
+		// falls back to the plain ring scan when no such node is alive.
 		nodes := c.conf.Cluster.Nodes
 		copyNode := -1
-		for j := 1; j < nodes; j++ {
-			if n := (tc.Node + j) % nodes; !c.nodeDown(n, asOf) {
-				copyNode = n
-				break
+		if cl := c.conf.Cluster; cl.Racks > 1 {
+			home := cl.RackOf(tc.Node)
+			for j := 1; j < nodes; j++ {
+				if n := (tc.Node + j) % nodes; !c.nodeDown(n, asOf) && cl.RackOf(n) != home {
+					copyNode = n
+					break
+				}
+			}
+		}
+		if copyNode < 0 {
+			for j := 1; j < nodes; j++ {
+				if n := (tc.Node + j) % nodes; !c.nodeDown(n, asOf) {
+					copyNode = n
+					break
+				}
 			}
 		}
 		if copyNode < 0 {
@@ -1287,7 +1460,7 @@ func (c *Context) speculate(tcs []*TaskContext, tasks []sim.Task, asOf simtime.D
 			c.rec.specWins.Add(1)
 			c.recm.specWins.Inc()
 		}
-		c.obsv.Flight().Record(obs.Event{
+		c.recordEvent(obs.Event{
 			Clock: asOf.Seconds(), Type: obs.EvSpeculation,
 			Stage: tc.StageID, Part: tc.Partition, Node: copyNode, Shuffle: -1,
 			Detail: fmt.Sprintf("copy of node %d task (slowed %s)", tc.Node, tc.slowed),

@@ -121,6 +121,54 @@ type RemoteCorruption struct {
 	Torn bool
 }
 
+// GCPause schedules a stop-the-world pause on one executor: from the
+// start of stage From the node stops heartbeating for Dur modelled time
+// WITHOUT dying — its staged outputs and cached data survive. With a
+// heartbeat failure detector (Conf.HeartbeatInterval > 0) a pause of at
+// least one interval makes the scheduler suspect the node; a pause of at
+// least HeartbeatMisses intervals makes it falsely declare the node dead,
+// invalidate its map outputs and resubmit — and when the pause ends, the
+// original "zombie" attempt's commit is rejected by the map-output commit
+// lease (attempt-epoch fencing). Requires the detector: plans carrying GC
+// pauses are rejected without Conf.HeartbeatInterval.
+type GCPause struct {
+	// Node is the executor that pauses.
+	Node int
+	// From is the global stage ID at whose start the pause begins.
+	From int
+	// Dur is how long the node's heartbeats stall, in modelled time.
+	Dur simtime.Duration
+}
+
+// Partition schedules a network partition: from the start of stage From
+// the named executors are unreachable from the driver for Dur modelled
+// time — alive and computing, but silent. Detector semantics are exactly
+// GCPause's, applied to every partitioned node: false suspicion, stale
+// commits fenced when the partition heals. Requires the detector.
+type Partition struct {
+	// Nodes are the executors cut off from the driver.
+	Nodes []int
+	// From is the global stage ID at whose start the partition begins.
+	From int
+	// Dur is how long the partition lasts, in modelled time.
+	Dur simtime.Duration
+}
+
+// RackFailure schedules the correlated loss of one fault domain at the
+// start of one stage: every executor in the rack dies at once (shared
+// ToR switch / PDU), with full per-node crash semantics — staged outputs
+// lost, blacklist backoff per node, first-attempt tasks killed. Requires
+// a cluster with rack topology (cluster.WithRacks).
+type RackFailure struct {
+	// Rack is the fault domain that fails.
+	Rack int
+	// Stage is the global stage ID at whose start the rack dies.
+	Stage int
+	// Down is how long the rack's executors stay blacklisted; 0 uses the
+	// per-node exponential backoff.
+	Down simtime.Duration
+}
+
 // FaultPlan is a deterministic schedule of injected cluster failures,
 // attached via Conf.FaultPlan. Each event fires at most once per context,
 // when the named stage starts. Stage IDs are the engine's global stage
@@ -144,16 +192,24 @@ type FaultPlan struct {
 	RemoteSlows []RemoteSlow
 	// RemoteCorruptions are the scheduled remote-replica damages.
 	RemoteCorruptions []RemoteCorruption
+	// GCPauses are the scheduled stop-the-world executor pauses
+	// (heartbeat stalls without death — false-suspicion fodder).
+	GCPauses []GCPause
+	// Partitions are the scheduled network partitions.
+	Partitions []Partition
+	// RackFailures are the scheduled correlated fault-domain losses.
+	RackFailures []RackFailure
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p *FaultPlan) Empty() bool {
 	return p == nil || len(p.Crashes)+len(p.DiskLosses)+len(p.Stragglers)+len(p.Corruptions)+
-		len(p.RemoteOutages)+len(p.RemoteSlows)+len(p.RemoteCorruptions) == 0
+		len(p.RemoteOutages)+len(p.RemoteSlows)+len(p.RemoteCorruptions)+
+		len(p.GCPauses)+len(p.Partitions)+len(p.RackFailures) == 0
 }
 
-// validate checks the plan against a cluster size.
-func (p *FaultPlan) validate(nodes int) error {
+// validate checks the plan against a cluster size and rack count.
+func (p *FaultPlan) validate(nodes, racks int) error {
 	for _, ev := range p.Crashes {
 		if ev.Node < 0 || ev.Node >= nodes {
 			return fmt.Errorf("rdd: FaultPlan crash at stage %d names node %d outside the %d-node cluster", ev.Stage, ev.Node, nodes)
@@ -202,6 +258,47 @@ func (p *FaultPlan) validate(nodes int) error {
 	for _, ev := range p.RemoteCorruptions {
 		if ev.Stage < 0 || ev.Block < 0 {
 			return fmt.Errorf("rdd: FaultPlan remote corruption names negative stage %d / block %d", ev.Stage, ev.Block)
+		}
+	}
+	for _, ev := range p.GCPauses {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("rdd: FaultPlan GC pause at stage %d names node %d outside the %d-node cluster", ev.From, ev.Node, nodes)
+		}
+		if ev.From < 0 {
+			return fmt.Errorf("rdd: FaultPlan GC pause names negative stage %d", ev.From)
+		}
+		if ev.Dur <= 0 {
+			return fmt.Errorf("rdd: FaultPlan GC pause at stage %d has non-positive duration %v", ev.From, ev.Dur)
+		}
+	}
+	for _, ev := range p.Partitions {
+		if len(ev.Nodes) == 0 {
+			return fmt.Errorf("rdd: FaultPlan network partition at stage %d isolates no nodes", ev.From)
+		}
+		for _, n := range ev.Nodes {
+			if n < 0 || n >= nodes {
+				return fmt.Errorf("rdd: FaultPlan network partition at stage %d names node %d outside the %d-node cluster", ev.From, n, nodes)
+			}
+		}
+		if ev.From < 0 {
+			return fmt.Errorf("rdd: FaultPlan network partition names negative stage %d", ev.From)
+		}
+		if ev.Dur <= 0 {
+			return fmt.Errorf("rdd: FaultPlan network partition at stage %d has non-positive duration %v", ev.From, ev.Dur)
+		}
+	}
+	for _, ev := range p.RackFailures {
+		if racks <= 1 {
+			return fmt.Errorf("rdd: FaultPlan rack failure at stage %d needs a cluster with rack topology (cluster.WithRacks)", ev.Stage)
+		}
+		if ev.Rack < 0 || ev.Rack >= racks {
+			return fmt.Errorf("rdd: FaultPlan rack failure at stage %d names rack %d outside the %d-rack cluster", ev.Stage, ev.Rack, racks)
+		}
+		if ev.Stage < 0 {
+			return fmt.Errorf("rdd: FaultPlan rack failure names negative stage %d", ev.Stage)
+		}
+		if ev.Down < 0 {
+			return fmt.Errorf("rdd: FaultPlan rack failure at stage %d has negative Down %v", ev.Stage, ev.Down)
 		}
 	}
 	return nil
@@ -265,6 +362,82 @@ func (p *FaultPlan) WithRandomCorruptions(seed int64, stages, n int) *FaultPlan 
 	return &q
 }
 
+// WithRandomGCPauses returns a copy of the plan with n seeded GC-pause
+// events appended, drawn over the first `stages` stages. Pause durations
+// span 2–8 modelled seconds, so against typical heartbeat settings some
+// pauses stay below the declaration threshold (suspicion only) and some
+// cross it (false declaration + zombie fencing). Fresh generator, same
+// chaining contract as WithRandomCorruptions.
+func (p *FaultPlan) WithRandomGCPauses(seed int64, stages, nodes, n int) *FaultPlan {
+	if stages < 2 {
+		stages = 2
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := *p
+	q.GCPauses = append([]GCPause(nil), p.GCPauses...)
+	for i := 0; i < n; i++ {
+		q.GCPauses = append(q.GCPauses, GCPause{
+			From: 1 + rng.Intn(stages-1),
+			Node: rng.Intn(nodes),
+			Dur:  simtime.Duration(2+6*rng.Float64()) * simtime.Second,
+		})
+	}
+	return &q
+}
+
+// WithRandomPartitions returns a copy of the plan with n seeded network
+// partitions appended, each isolating one or two executors for 2–8
+// modelled seconds over the first `stages` stages.
+func (p *FaultPlan) WithRandomPartitions(seed int64, stages, nodes, n int) *FaultPlan {
+	if stages < 2 {
+		stages = 2
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := *p
+	q.Partitions = append([]Partition(nil), p.Partitions...)
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		cut := []int{a}
+		if b != a {
+			cut = append(cut, b)
+		}
+		q.Partitions = append(q.Partitions, Partition{
+			From:  1 + rng.Intn(stages-1),
+			Nodes: cut,
+			Dur:   simtime.Duration(2+6*rng.Float64()) * simtime.Second,
+		})
+	}
+	return &q
+}
+
+// WithRandomRackFailures returns a copy of the plan with n seeded rack
+// failures appended, drawn over the first `stages` stages of a
+// `racks`-domain cluster.
+func (p *FaultPlan) WithRandomRackFailures(seed int64, stages, racks, n int) *FaultPlan {
+	if stages < 2 {
+		stages = 2
+	}
+	if racks < 1 {
+		racks = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := *p
+	q.RackFailures = append([]RackFailure(nil), p.RackFailures...)
+	for i := 0; i < n; i++ {
+		q.RackFailures = append(q.RackFailures, RackFailure{
+			Stage: 1 + rng.Intn(stages-1),
+			Rack:  rng.Intn(racks),
+		})
+	}
+	return &q
+}
+
 // FetchFailedError is a reduce-side fetch hitting an invalidated map
 // output — Spark's FetchFailed. It indicts the parent map stage, not the
 // reduce task: the scheduler resubmits the map stage for the lost
@@ -314,6 +487,9 @@ type faultState struct {
 	corruptFired       []bool
 	slowFired          []bool
 	remoteCorruptFired []bool
+	gcFired            []bool
+	partFired          []bool
+	rackFired          []bool
 	// downUntil[n] is the virtual time node n's blacklist expires;
 	// strikes[n] counts its crashes (exponential backoff doubles per
 	// strike).
@@ -341,6 +517,9 @@ func newFaultState(p *FaultPlan, nodes int) *faultState {
 		corruptFired:       make([]bool, len(p.Corruptions)),
 		slowFired:          make([]bool, len(p.RemoteSlows)),
 		remoteCorruptFired: make([]bool, len(p.RemoteCorruptions)),
+		gcFired:            make([]bool, len(p.GCPauses)),
+		partFired:          make([]bool, len(p.Partitions)),
+		rackFired:          make([]bool, len(p.RackFailures)),
 		downUntil:          make([]simtime.Duration, nodes),
 		strikes:            make([]int, nodes),
 		maxStage:           -1,
@@ -390,38 +569,138 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		fs.remoteCorruptFired[i] = true
 		toCorruptRemote = append(toCorruptRemote, *ev)
 	}
+	// det is the heartbeat detector's declaration latency: with the
+	// detector on, a dead (or silent) executor becomes scheduler-visible
+	// only after HeartbeatMisses consecutive missed leases. 0 keeps the
+	// legacy omniscient delivery (faults known the instant they fire).
+	det := c.detectionLatency()
+	declared := false
+	suspect := func(node int, detail string) {
+		c.rec.suspicions.Add(1)
+		c.recm.detSuspicions.Inc()
+		c.recordEvent(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvSuspicion,
+			Stage: stageID, Part: -1, Node: node, Shuffle: -1,
+			Detail: detail,
+		})
+	}
 	var crashed map[int]bool
-	var toLose []int
+	var toLose, toZombie, failedRacks []int
+	// declareDead applies per-node crash semantics (strike, exponential
+	// blacklist backoff — overridden by an explicit down — and staged
+	// output loss) shared by solo crashes and rack failures. The blacklist
+	// starts at declaration time: detection latency delays it.
+	declareDead := func(node int, down simtime.Duration) {
+		fs.strikes[node]++
+		backoff := c.conf.BlacklistBackoff
+		for s := 1; s < fs.strikes[node] && s < 6; s++ {
+			backoff *= 2
+		}
+		if down <= 0 {
+			down = backoff
+		}
+		if until := now + det + down; until > fs.downUntil[node] {
+			fs.downUntil[node] = until
+		}
+		if crashed == nil {
+			crashed = make(map[int]bool)
+		}
+		crashed[node] = true
+		toLose = append(toLose, node)
+	}
 	for i := range fs.plan.Crashes {
 		ev := &fs.plan.Crashes[i]
 		if ev.Stage != stageID || fs.crashFired[i] {
 			continue
 		}
 		fs.crashFired[i] = true
-		fs.strikes[ev.Node]++
-		backoff := c.conf.BlacklistBackoff
-		for s := 1; s < fs.strikes[ev.Node] && s < 6; s++ {
-			backoff *= 2
-		}
-		down := backoff
-		if ev.Down > 0 {
-			down = ev.Down // an explicit duration overrides the backoff
-		}
-		if until := now + down; until > fs.downUntil[ev.Node] {
-			fs.downUntil[ev.Node] = until
-		}
-		if crashed == nil {
-			crashed = make(map[int]bool)
-		}
-		crashed[ev.Node] = true
-		toLose = append(toLose, ev.Node)
+		declareDead(ev.Node, ev.Down)
 		c.rec.execCrashes.Add(1)
 		c.recm.injectCrash.Inc()
-		c.obsv.Flight().Record(obs.Event{
+		if det > 0 {
+			declared = true
+			suspect(ev.Node, "heartbeats stopped: executor dead")
+		}
+		c.recordEvent(obs.Event{
 			Clock: now.Seconds(), Type: obs.EvFault,
 			Stage: stageID, Part: -1, Node: ev.Node, Shuffle: -1,
 			Detail: "executor-crash",
 		})
+	}
+	for i := range fs.plan.RackFailures {
+		ev := &fs.plan.RackFailures[i]
+		if ev.Stage != stageID || fs.rackFired[i] {
+			continue
+		}
+		fs.rackFired[i] = true
+		failedRacks = append(failedRacks, ev.Rack)
+		members := c.conf.Cluster.RackNodes(ev.Rack)
+		for _, node := range members {
+			declareDead(node, ev.Down)
+			if det > 0 {
+				declared = true
+				suspect(node, fmt.Sprintf("heartbeats stopped with rack %d", ev.Rack))
+			}
+		}
+		c.rec.rackFailures.Add(1)
+		c.recm.injectRack.Inc()
+		c.recordEvent(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvFault,
+			Stage: stageID, Part: -1, Node: -1, Shuffle: -1,
+			Detail: fmt.Sprintf("rack-failure rack=%d nodes=%d", ev.Rack, len(members)),
+		})
+	}
+	// stall models an alive executor going silent for dur (stop-the-world
+	// GC, network partition): past one missed lease the scheduler suspects
+	// it; past the full declaration latency it is falsely declared dead —
+	// outputs invalidated, node blacklisted until its heartbeats resume,
+	// and the still-running attempts remembered as zombies whose late
+	// commits the map-output lease must fence.
+	stall := func(node int, dur simtime.Duration, kind string) {
+		if dur < c.conf.HeartbeatInterval {
+			return // resumes inside one lease: never even suspected
+		}
+		suspect(node, fmt.Sprintf("%s: heartbeats stalled %s", kind, dur))
+		if dur < det {
+			return // recovers before the lease count runs out: suspicion only
+		}
+		declared = true
+		c.rec.falseSuspicions.Add(1)
+		c.recm.detFalseSuspicions.Inc()
+		if until := now + dur; until > fs.downUntil[node] {
+			fs.downUntil[node] = until
+		}
+		toZombie = append(toZombie, node)
+	}
+	for i := range fs.plan.GCPauses {
+		ev := &fs.plan.GCPauses[i]
+		if ev.From != stageID || fs.gcFired[i] {
+			continue
+		}
+		fs.gcFired[i] = true
+		c.recm.injectGCPause.Inc()
+		c.recordEvent(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvFault,
+			Stage: stageID, Part: -1, Node: ev.Node, Shuffle: -1,
+			Detail: fmt.Sprintf("gc-pause dur=%s", ev.Dur),
+		})
+		stall(ev.Node, ev.Dur, "gc-pause")
+	}
+	for i := range fs.plan.Partitions {
+		ev := &fs.plan.Partitions[i]
+		if ev.From != stageID || fs.partFired[i] {
+			continue
+		}
+		fs.partFired[i] = true
+		c.recm.injectPartition.Inc()
+		c.recordEvent(obs.Event{
+			Clock: now.Seconds(), Type: obs.EvFault,
+			Stage: stageID, Part: -1, Node: -1, Shuffle: -1,
+			Detail: fmt.Sprintf("network-partition nodes=%d dur=%s", len(ev.Nodes), ev.Dur),
+		})
+		for _, node := range ev.Nodes {
+			stall(node, ev.Dur, "network-partition")
+		}
 	}
 	for i := range fs.plan.DiskLosses {
 		ev := &fs.plan.DiskLosses[i]
@@ -432,7 +711,7 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		toLose = append(toLose, ev.Node)
 		c.rec.diskLosses.Add(1)
 		c.recm.injectDisk.Inc()
-		c.obsv.Flight().Record(obs.Event{
+		c.recordEvent(obs.Event{
 			Clock: now.Seconds(), Type: obs.EvFault,
 			Stage: stageID, Part: -1, Node: ev.Node, Shuffle: -1,
 			Detail: "disk-loss",
@@ -448,6 +727,18 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		toCorrupt = append(toCorrupt, *ev)
 	}
 	fs.mu.Unlock()
+	if declared && det > 0 {
+		// Detection latency: the scheduler learns of the losses only after
+		// the missed-heartbeat lease runs out, and that wait is modelled
+		// time on the critical path — charged once per stage boundary no
+		// matter how many executors were declared together (their leases
+		// expire in parallel). The charge lands before the stage reads the
+		// clock, so placements already see the post-declaration blacklist.
+		c.advanceDriver(det, simtime.Overhead, obs.PhaseDetection)
+		c.mu.Lock()
+		c.bd.Detection += det
+		c.mu.Unlock()
+	}
 	if c.store != nil && c.store.RemoteAttached() {
 		if remoteDown && !remoteWasDown {
 			// Entering an outage window: one degraded-mode episode begins —
@@ -456,7 +747,7 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 			c.rec.degradedWindows.Add(1)
 			c.recm.degradedWindows.Inc()
 			c.recm.injectRemoteOutage.Inc()
-			c.obsv.Flight().Record(obs.Event{
+			c.recordEvent(obs.Event{
 				Clock: now.Seconds(), Type: obs.EvFault,
 				Stage: stageID, Part: -1, Node: -1, Shuffle: -1,
 				Detail: "remote-outage-enter",
@@ -471,9 +762,25 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 			// tier drains the backlog parked during the outage here too.
 			c.store.FlushReplication()
 		}
+		for _, rack := range failedRacks {
+			// A rack failure burns the rack's share of the remote tier too:
+			// replicas placed in the failed domain are gone, so restores of
+			// those keys fail over to recompute — domain-aware placement
+			// guarantees the surviving copy lives elsewhere.
+			if n := c.store.DropRemoteDomain(rack); n > 0 {
+				c.recordEvent(obs.Event{
+					Clock: now.Seconds(), Type: obs.EvFault,
+					Stage: stageID, Part: -1, Node: -1, Shuffle: -1,
+					Detail: fmt.Sprintf("rack-failure rack=%d dropped %d remote replicas", rack, n),
+				})
+			}
+		}
 	}
 	for _, node := range toLose {
-		c.loseNodeOutputs(node)
+		c.loseNodeOutputs(node, false)
+	}
+	for _, node := range toZombie {
+		c.loseNodeOutputs(node, true)
 	}
 	for _, ev := range toCorrupt {
 		c.corruptStagedBlock(ev)
@@ -482,6 +789,12 @@ func (c *Context) fireStageFaults(stageID int) map[int]bool {
 		c.corruptRemoteReplica(ev)
 	}
 	return crashed
+}
+
+// detectionLatency returns the heartbeat detector's declaration latency
+// (HeartbeatMisses × HeartbeatInterval), or 0 with the detector off.
+func (c *Context) detectionLatency() simtime.Duration {
+	return simtime.Duration(c.conf.HeartbeatMisses) * c.conf.HeartbeatInterval
 }
 
 // remoteSlowFactor returns the active remote-slowdown dilation (≥ 1) at
@@ -527,7 +840,7 @@ func (c *Context) placeNode(split int, asOf simtime.Duration) int {
 		if !c.nodeDown(n, asOf) {
 			c.rec.blacklisted.Add(1)
 			c.recm.blacklisted.Inc()
-			c.obsv.Flight().Record(obs.Event{
+			c.recordEvent(obs.Event{
 				Clock: asOf.Seconds(), Type: obs.EvBlacklist,
 				Stage: -1, Part: split, Node: n, Shuffle: -1,
 				Detail: fmt.Sprintf("home node %d blacklisted", home),
@@ -567,8 +880,12 @@ func (c *Context) stragglerFactor(stageID, split int) float64 {
 // loseNodeOutputs invalidates every live shuffle map output staged on a
 // node: matching bucket refs are flagged lost (a later fetch panics with
 // FetchFailedError) and their staged bytes are released from the node's
-// simulated disk — the data died with the executor/disk.
-func (c *Context) loseNodeOutputs(node int) {
+// simulated disk — the data died with the executor/disk. With zombie set
+// the node is NOT actually dead (false suspicion): each invalidated part
+// additionally remembers the commit lease it was registered under, so
+// the recovery merge can detect — and fence — the stale attempt's late
+// commit when the resubmission takes a fresh lease.
+func (c *Context) loseNodeOutputs(node int, zombie bool) {
 	c.mu.Lock()
 	states := make([]*shuffleState, 0, len(c.shuffles))
 	for _, st := range c.shuffles {
@@ -588,6 +905,12 @@ func (c *Context) loseNodeOutputs(node int) {
 				}
 				st.lost[p] = true
 				lostBytes += st.spillByMap[p]
+				if zombie {
+					if st.zombieParts == nil {
+						st.zombieParts = make(map[int]int)
+					}
+					st.zombieParts[p] = st.commitLease
+				}
 			}
 			st.spillByNode[node] -= lostBytes
 		}
@@ -621,6 +944,11 @@ type recovery struct {
 	degradedWindows  atomic.Int64
 	remoteCorrupts   atomic.Int64
 	spillStragglers  atomic.Int64
+	suspicions       atomic.Int64
+	falseSuspicions  atomic.Int64
+	fencedCommits    atomic.Int64
+	stormThrottled   atomic.Int64
+	rackFailures     atomic.Int64
 }
 
 // recoveryMetrics are the pre-resolved registry handles for the recovery
@@ -637,6 +965,10 @@ type recoveryMetrics struct {
 	remoteRetries       *obs.Counter
 	degradedWindows     *obs.Counter
 	spillStragglers     *obs.Counter
+	detSuspicions       *obs.Counter
+	detFalseSuspicions  *obs.Counter
+	detFencedCommits    *obs.Counter
+	detStormThrottled   *obs.Counter
 	injectTask          *obs.Counter
 	injectCrash         *obs.Counter
 	injectDisk          *obs.Counter
@@ -645,6 +977,9 @@ type recoveryMetrics struct {
 	injectRemoteOutage  *obs.Counter
 	injectRemoteSlow    *obs.Counter
 	injectRemoteCorrupt *obs.Counter
+	injectGCPause       *obs.Counter
+	injectPartition     *obs.Counter
+	injectRack          *obs.Counter
 }
 
 // newRecoveryMetrics resolves the recovery counter families against a
@@ -666,6 +1001,10 @@ func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
 		remoteRetries:       reg.Counter("dpspark_remote_retries_total", nil),
 		degradedWindows:     reg.Counter("dpspark_remote_degraded_windows_total", nil),
 		spillStragglers:     reg.Counter("dpspark_spill_stragglers_total", nil),
+		detSuspicions:       reg.Counter("dpspark_detector_suspicions_total", nil),
+		detFalseSuspicions:  reg.Counter("dpspark_detector_false_suspicions_total", nil),
+		detFencedCommits:    reg.Counter("dpspark_detector_fenced_commits_total", nil),
+		detStormThrottled:   reg.Counter("dpspark_detector_storm_throttled_resubmits_total", nil),
 		injectTask:          reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "task"}),
 		injectCrash:         reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "executor-crash"}),
 		injectDisk:          reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "disk-loss"}),
@@ -674,6 +1013,9 @@ func newRecoveryMetrics(reg *obs.Registry) recoveryMetrics {
 		injectRemoteOutage:  reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-outage"}),
 		injectRemoteSlow:    reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-slow"}),
 		injectRemoteCorrupt: reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "remote-corruption"}),
+		injectGCPause:       reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "gc-pause"}),
+		injectPartition:     reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "network-partition"}),
+		injectRack:          reg.Counter("dpspark_fault_injections_total", obs.Labels{"kind": "rack-failure"}),
 	}
 }
 
@@ -722,6 +1064,22 @@ type RecoveryStats struct {
 	// SpillStragglers counts tasks dilated by spill-aware scheduling
 	// (Conf.SpillStraggler) because their node was memory-starved.
 	SpillStragglers int64
+	// Suspicions counts executors the heartbeat detector suspected after a
+	// missed lease (0 with the detector off — faults deliver omnisciently).
+	Suspicions int64
+	// FalseSuspicions counts alive-but-silent executors (GC pause, network
+	// partition) the detector falsely declared dead.
+	FalseSuspicions int64
+	// FencedCommits counts stale (zombie) map-output commits rejected by
+	// the attempt-epoch commit lease after a false declaration.
+	FencedCommits int64
+	// StormThrottledResubmits counts stage resubmissions that had to wait
+	// for a recovery-storm token (Conf.RecoveryTokens) before running.
+	StormThrottledResubmits int64
+	// RackFailures counts fired rack-failure events (each kills a whole
+	// fault domain; the per-node losses are not double-counted as
+	// ExecutorCrashes).
+	RackFailures int64
 }
 
 // RecoveryStats returns the context's failure/recovery counters so far.
@@ -745,5 +1103,10 @@ func (c *Context) RecoveryStats() RecoveryStats {
 		DegradedWindows:         c.rec.degradedWindows.Load(),
 		RemoteCorruptions:       c.rec.remoteCorrupts.Load(),
 		SpillStragglers:         c.rec.spillStragglers.Load(),
+		Suspicions:              c.rec.suspicions.Load(),
+		FalseSuspicions:         c.rec.falseSuspicions.Load(),
+		FencedCommits:           c.rec.fencedCommits.Load(),
+		StormThrottledResubmits: c.rec.stormThrottled.Load(),
+		RackFailures:            c.rec.rackFailures.Load(),
 	}
 }

@@ -273,11 +273,31 @@ func TestRandomFaultPlanDeterministic(t *testing.T) {
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds should differ")
 	}
-	if err := a.validate(4); err != nil {
+	if err := a.validate(4, 1); err != nil {
 		t.Fatalf("drawn plan invalid: %v", err)
 	}
 	if len(a.Crashes) != 2 || len(a.Stragglers) != 2 || len(a.DiskLosses) != 1 {
 		t.Fatalf("plan = %+v", a)
+	}
+
+	// The detector-era event kinds generate behind chained opts, equally
+	// deterministic, without disturbing the base plan's draws.
+	d := a.WithRandomGCPauses(5, 12, 4, 2).WithRandomPartitions(6, 12, 4, 1).WithRandomRackFailures(7, 12, 2, 1)
+	e := a.WithRandomGCPauses(5, 12, 4, 2).WithRandomPartitions(6, 12, 4, 1).WithRandomRackFailures(7, 12, 2, 1)
+	if !reflect.DeepEqual(d, e) {
+		t.Fatalf("same seeds, different chained plans:\n%+v\n%+v", d, e)
+	}
+	if len(d.GCPauses) != 2 || len(d.Partitions) != 1 || len(d.RackFailures) != 1 {
+		t.Fatalf("chained plan = %+v", d)
+	}
+	if len(a.GCPauses)+len(a.Partitions)+len(a.RackFailures) != 0 {
+		t.Fatalf("chaining must copy, not mutate: %+v", a)
+	}
+	if err := d.validate(4, 2); err != nil {
+		t.Fatalf("chained plan invalid for a 2-rack cluster: %v", err)
+	}
+	if err := d.validate(4, 1); err == nil {
+		t.Fatal("rack failures must be rejected without rack topology")
 	}
 }
 
@@ -299,6 +319,15 @@ func TestConfNormalization(t *testing.T) {
 		{"straggler factor", Conf{Cluster: cluster.Local(2),
 			FaultPlan: &FaultPlan{Stragglers: []Straggler{{Stage: 1, Partition: 0, Factor: 0.5}}}}, "factor"},
 		{"no cluster", Conf{}, "Cluster"},
+		{"negative heartbeat", Conf{Cluster: cluster.Local(2), HeartbeatInterval: -simtime.Second}, "HeartbeatInterval"},
+		{"misses without interval", Conf{Cluster: cluster.Local(2), HeartbeatMisses: 3}, "HeartbeatMisses"},
+		{"negative tokens", Conf{Cluster: cluster.Local(2), RecoveryTokens: -1}, "RecoveryTokens"},
+		{"refill without tokens", Conf{Cluster: cluster.Local(2), RecoveryRefill: simtime.Second}, "RecoveryRefill"},
+		{"gc pause without detector", Conf{Cluster: cluster.Local(2),
+			FaultPlan: &FaultPlan{GCPauses: []GCPause{{Node: 0, From: 1, Dur: simtime.Second}}}}, "failure detector"},
+		{"rack failure without racks", Conf{Cluster: cluster.Local(2),
+			HeartbeatInterval: simtime.Second,
+			FaultPlan:         &FaultPlan{RackFailures: []RackFailure{{Rack: 0, Stage: 1}}}}, "rack topology"},
 	}
 	for _, tc := range cases {
 		func() {
@@ -324,6 +353,18 @@ func TestConfNormalization(t *testing.T) {
 		conf.BlacklistBackoff != 30*simtime.Second ||
 		conf.SpeculationMultiplier != 1.5 || conf.SpeculationQuantile != 0.75 {
 		t.Fatalf("defaults = %+v", conf)
+	}
+	// Detector defaults: off entirely at interval 0; 2 missed leases and
+	// a 1s refill once their gate knob is set.
+	if conf.HeartbeatMisses != 0 || conf.RecoveryRefill != 0 {
+		t.Fatalf("detector knobs must stay zero while off: %+v", conf)
+	}
+	det := Conf{Cluster: cluster.Local(2), HeartbeatInterval: simtime.Second, RecoveryTokens: 2}
+	if err := det.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if det.HeartbeatMisses != 2 || det.RecoveryRefill != simtime.Second {
+		t.Fatalf("detector defaults = %+v", det)
 	}
 }
 

@@ -123,7 +123,7 @@ func (c *Context) tryRemoteRestore(st *shuffleState, lost []int) []int {
 		}
 		restored = append(restored, p)
 		c.rec.restoredBlocks.Add(int64(len(blocks)))
-		c.obsv.Flight().Record(obs.Event{
+		c.recordEvent(obs.Event{
 			Clock: -1, Type: obs.EvRestore,
 			Stage: -1, Part: p, Node: -1, Shuffle: st.dep.id,
 			Detail: fmt.Sprintf("restored %d staged blocks from remote replicas", len(blocks)),

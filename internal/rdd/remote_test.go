@@ -304,7 +304,7 @@ func TestFaultPlanValidateRemoteEvents(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := tc.plan.validate(4)
+			err := tc.plan.validate(4, 1)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("validate = %v, want mention of %q", err, tc.want)
 			}

@@ -125,6 +125,11 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 	st.mu.Lock()
 	st.attempts++
 	attempt := st.attempts - 1
+	// Take the map-output commit lease: from here on only THIS attempt's
+	// buckets may register in the merge. A resubmission after a false
+	// suspicion takes the lease away from the still-running zombie
+	// attempt, whose late commit the recovery merge then fences.
+	st.commitLease = attempt
 	st.mu.Unlock()
 
 	perTask := make([]map[int][]keyedRecord, n)
@@ -216,6 +221,31 @@ func (c *Context) execMapTasks(st *shuffleState, splits []int) {
 		recomputed := make(map[int]bool, len(splits))
 		for _, s := range splits {
 			recomputed[s] = true
+		}
+		for _, s := range splits {
+			staleLease, zombie := st.zombieParts[s]
+			if !zombie {
+				continue
+			}
+			// Commit fencing: this partition was invalidated by a FALSE
+			// suspicion — its original executor is alive and its staged
+			// output is the zombie attempt's commit, registered under the
+			// lease staleLease. The current attempt holds the lease now, so
+			// the stale registration is rejected (dropped below with the
+			// other recomputed refs) instead of racing the fresh output.
+			// Without the fence both attempts' buckets would be live at
+			// once and results could double-count.
+			if staleLease != st.commitLease {
+				c.rec.fencedCommits.Add(1)
+				c.recm.detFencedCommits.Inc()
+				c.recordEvent(obs.Event{
+					Clock: -1, Type: obs.EvFencedCommit,
+					Stage: st.mapStage, Attempt: attempt, Part: s,
+					Node: st.mapNode[s], Shuffle: sd.id,
+					Detail: fmt.Sprintf("zombie commit lease %d rejected (current %d)", staleLease, st.commitLease),
+				})
+			}
+			delete(st.zombieParts, s)
 		}
 		for b, refs := range st.byReduce {
 			keep := refs[:0]
@@ -328,9 +358,12 @@ func (c *Context) recoverShuffle(ff *FetchFailedError) error {
 	}
 
 	if len(toRecompute) > 0 {
+		// Recovery-storm throttling: a resubmission may first have to wait
+		// for a token, so a mass failure drains in bounded waves.
+		c.takeRecoveryToken()
 		c.rec.stageResubmits.Add(1)
 		c.recm.stageResubmits.Inc()
-		c.obsv.Flight().Record(obs.Event{
+		c.recordEvent(obs.Event{
 			Clock: -1, Type: obs.EvStageResubmit,
 			Stage: -1, Part: -1, Node: -1, Shuffle: ff.ShuffleID,
 			Detail: fmt.Sprintf("recompute %d lost map partitions", len(toRecompute)),

@@ -172,6 +172,9 @@ type EngineState struct {
 	StragFired         []bool `json:"strag_fired,omitempty"`
 	CorruptFired       []bool `json:"corrupt_fired,omitempty"`
 	RemoteCorruptFired []bool `json:"remote_corrupt_fired,omitempty"`
+	GCFired            []bool `json:"gc_fired,omitempty"`
+	PartFired          []bool `json:"part_fired,omitempty"`
+	RackFired          []bool `json:"rack_fired,omitempty"`
 	Strikes            []int  `json:"strikes,omitempty"`
 }
 
@@ -188,6 +191,9 @@ func (c *Context) EngineState() EngineState {
 		es.StragFired = append([]bool(nil), fs.stragFired...)
 		es.CorruptFired = append([]bool(nil), fs.corruptFired...)
 		es.RemoteCorruptFired = append([]bool(nil), fs.remoteCorruptFired...)
+		es.GCFired = append([]bool(nil), fs.gcFired...)
+		es.PartFired = append([]bool(nil), fs.partFired...)
+		es.RackFired = append([]bool(nil), fs.rackFired...)
 		es.Strikes = append([]int(nil), fs.strikes...)
 		fs.mu.Unlock()
 	}
@@ -208,6 +214,9 @@ func (c *Context) restoreEngineState(es *EngineState) {
 		copy(fs.stragFired, es.StragFired)
 		copy(fs.corruptFired, es.CorruptFired)
 		copy(fs.remoteCorruptFired, es.RemoteCorruptFired)
+		copy(fs.gcFired, es.GCFired)
+		copy(fs.partFired, es.PartFired)
+		copy(fs.rackFired, es.RackFired)
 		copy(fs.strikes, es.Strikes)
 		fs.mu.Unlock()
 	}
@@ -225,10 +234,11 @@ func validateRestore(es *EngineState, plan *FaultPlan, nodes int) error {
 		}
 		return nil
 	}
-	var crashes, disks, strags, corrupts, remCorrupts int
+	var crashes, disks, strags, corrupts, remCorrupts, gcs, parts, racks int
 	if plan != nil {
 		crashes, disks, strags, corrupts = len(plan.Crashes), len(plan.DiskLosses), len(plan.Stragglers), len(plan.Corruptions)
 		remCorrupts = len(plan.RemoteCorruptions)
+		gcs, parts, racks = len(plan.GCPauses), len(plan.Partitions), len(plan.RackFailures)
 	}
 	if err := check("CrashFired", len(es.CrashFired), crashes); err != nil {
 		return err
@@ -243,6 +253,15 @@ func validateRestore(es *EngineState, plan *FaultPlan, nodes int) error {
 		return err
 	}
 	if err := check("RemoteCorruptFired", len(es.RemoteCorruptFired), remCorrupts); err != nil {
+		return err
+	}
+	if err := check("GCFired", len(es.GCFired), gcs); err != nil {
+		return err
+	}
+	if err := check("PartFired", len(es.PartFired), parts); err != nil {
+		return err
+	}
+	if err := check("RackFired", len(es.RackFired), racks); err != nil {
 		return err
 	}
 	return check("Strikes", len(es.Strikes), nodes)

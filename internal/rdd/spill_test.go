@@ -279,7 +279,7 @@ func TestWithRandomCorruptionsDeterministic(t *testing.T) {
 	if len(a.Corruptions) != 3 || len(base.Corruptions) != 0 {
 		t.Fatalf("append went wrong: %+v / %+v", a.Corruptions, base.Corruptions)
 	}
-	if err := a.validate(4); err != nil {
+	if err := a.validate(4, 1); err != nil {
 		t.Fatalf("validate: %v", err)
 	}
 	c := base.WithRandomCorruptions(100, 12, 3)

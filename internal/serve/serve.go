@@ -40,6 +40,7 @@ import (
 	"dpspark/internal/obs"
 	"dpspark/internal/rdd"
 	"dpspark/internal/semiring"
+	"dpspark/internal/simtime"
 )
 
 // Config configures the job service.
@@ -156,6 +157,17 @@ type JobSpec struct {
 	// sibling jobs.
 	ChaosSeed    int64 `json:"chaos_seed"`
 	ChaosCrashes int   `json:"chaos_crashes"`
+	// ChaosGCPauses, when > 0, additionally injects that many seeded
+	// stop-the-world GC pauses and turns on the heartbeat failure
+	// detector for THIS job (HeartbeatMS lease interval, dead after two
+	// missed leases). Pauses outliving the detection latency falsely
+	// declare the executor dead; the job must recover through
+	// resubmission with the zombie attempt's commits fenced.
+	ChaosGCPauses int `json:"chaos_gcpauses"`
+	// HeartbeatMS is the detector's lease interval in virtual
+	// milliseconds. Default 2000 when ChaosGCPauses > 0; 0 otherwise
+	// (detector off, instant failure detection).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
 }
 
 // validate checks and defaults a submitted spec.
@@ -192,6 +204,15 @@ func (sp *JobSpec) validate() error {
 	}
 	if sp.ChaosCrashes < 0 {
 		return fmt.Errorf("serve: chaos_crashes must be ≥ 0, got %d", sp.ChaosCrashes)
+	}
+	if sp.ChaosGCPauses < 0 {
+		return fmt.Errorf("serve: chaos_gcpauses must be ≥ 0, got %d", sp.ChaosGCPauses)
+	}
+	if sp.HeartbeatMS < 0 {
+		return fmt.Errorf("serve: heartbeat_ms must be ≥ 0, got %d", sp.HeartbeatMS)
+	}
+	if sp.ChaosGCPauses > 0 && sp.HeartbeatMS == 0 {
+		sp.HeartbeatMS = 2000 // a GC-pause plan needs the detector on
 	}
 	return nil
 }
@@ -360,7 +381,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.tenantPending[spec.Tenant]++
 	s.jobCounter("admitted", spec.Tenant).Inc()
 	s.obsv.Flight().Record(obs.Event{
-		Type: obs.EvJobSubmit, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Type: obs.EvJobSubmit, Job: j.ID, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
 		Detail: fmt.Sprintf("%s tenant=%s %s/%s n=%d prio=%d", j.ID, spec.Tenant, spec.Bench, spec.Driver, spec.N, spec.Priority),
 	})
 	s.dispatchLocked()
@@ -421,17 +442,31 @@ func (s *Server) runJob(j *Job) {
 
 	spec := j.Spec
 	var plan *rdd.FaultPlan
+	r := (spec.N + spec.Block - 1) / spec.Block
 	if spec.ChaosCrashes > 0 {
-		r := (spec.N + spec.Block - 1) / spec.Block
 		// The chaos subcommand's mix: crashes as requested, plus two
 		// stragglers and one staging-disk loss over the planned stages.
 		plan = rdd.RandomFaultPlan(spec.ChaosSeed, 4*r, s.cfg.Cluster.Nodes, spec.ChaosCrashes, 2, 1)
 	}
+	var heartbeat simtime.Duration
+	if spec.HeartbeatMS > 0 {
+		heartbeat = simtime.Duration(spec.HeartbeatMS) * simtime.Millisecond
+	}
+	if spec.ChaosGCPauses > 0 {
+		if plan == nil {
+			plan = &rdd.FaultPlan{Seed: spec.ChaosSeed}
+		}
+		// Seeded stop-the-world pauses; those outliving the detection
+		// latency exercise false suspicion + zombie fencing in-service.
+		plan = plan.WithRandomGCPauses(spec.ChaosSeed+1, 4*r, s.cfg.Cluster.Nodes, spec.ChaosGCPauses)
+	}
 	ctx := rdd.NewContext(rdd.Conf{
-		Substrate: s.sub,
-		Priority:  spec.Priority,
-		FaultPlan: plan,
-		Observer:  s.obsv,
+		Substrate:         s.sub,
+		Priority:          spec.Priority,
+		FaultPlan:         plan,
+		Observer:          s.obsv,
+		HeartbeatInterval: heartbeat,
+		JobLabel:          j.ID,
 	})
 
 	// Publish the context so Cancel reaches the engine, honouring a
@@ -497,7 +532,7 @@ func (s *Server) finishJob(j *Job, sum uint64, modelled float64, err error) {
 	s.tenantRunning[j.Spec.Tenant]--
 	s.jobCounter(outcome, j.Spec.Tenant).Inc()
 	s.obsv.Flight().Record(obs.Event{
-		Type: obs.EvJobFinish, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Type: obs.EvJobFinish, Job: j.ID, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
 		Detail: fmt.Sprintf("%s tenant=%s state=%s checksum=%016x", j.ID, j.Spec.Tenant, j.state, sum),
 	})
 	s.dispatchLocked()

@@ -373,6 +373,63 @@ func TestDrain(t *testing.T) {
 	s.Drain()
 }
 
+// TestServeDrainWithFalseSuspicionInFlight: a drain arriving while a
+// job is mid false-suspicion recovery (detector on, seeded GC pauses)
+// must let that recovery finish inside the grace window — the job lands
+// done with its solo checksum, zombie commits fenced, no deadlock — and
+// every flight event the job emitted carries its ID for /events?job=.
+func TestServeDrainWithFalseSuspicionInFlight(t *testing.T) {
+	spec := JobSpec{Tenant: "erin", Bench: "fw", Driver: "im", N: 64, Block: 32, Seed: 5, ChaosSeed: 17, ChaosGCPauses: 3}
+	wantSum, wantClk := soloChecksum(t, spec)
+
+	started := make(chan struct{})
+	cfg := Config{MaxRunning: 1, DrainGrace: 60 * time.Second}
+	cfg.hook = func(*Job) { close(started) }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	s.Drain() // races the in-flight recovery; grace must cover it
+
+	st, ok := s.Status(j.ID)
+	if !ok || st.State != StateDone {
+		t.Fatalf("drained job ended %s (%s), want done", st.State, st.Error)
+	}
+	if st.Checksum != wantSum {
+		t.Fatalf("drained checksum %s != solo %s", st.Checksum, wantSum)
+	}
+	if st.ModelledSeconds != wantClk {
+		t.Fatalf("drained modelled clock %v != solo %v", st.ModelledSeconds, wantClk)
+	}
+	// The detector really ran in-service: the pauses were suspected and
+	// at least one outlived the lease count into a false declaration.
+	reg := s.Observer().Metrics()
+	if reg.CounterTotal("dpspark_detector_suspicions_total") == 0 {
+		t.Fatal("no suspicions recorded — the GC-pause plan never met the detector")
+	}
+	if reg.CounterTotal("dpspark_detector_false_suspicions_total") == 0 {
+		t.Fatal("no false declaration — recovery was never in flight to race the drain")
+	}
+	// Every engine event the job emitted is tagged for /events?job=.
+	tagged := 0
+	for _, ev := range s.Observer().Flight().Snapshot() {
+		if ev.Job == j.ID {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		t.Fatal("no flight events carry the job's ID")
+	}
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("submission accepted while draining")
+	}
+}
+
 // TestServeConfNormalization is the serve half of the PR's table-driven
 // validation coverage (rdd.Conf's lives in internal/rdd).
 func TestServeConfNormalization(t *testing.T) {
@@ -430,6 +487,8 @@ func TestJobSpecValidation(t *testing.T) {
 		{"oversize", JobSpec{N: 8192, Block: 64}, "cap"},
 		{"negative deadline", JobSpec{DeadlineMS: -1}, "deadline"},
 		{"negative chaos", JobSpec{ChaosCrashes: -1}, "chaos"},
+		{"negative gcpauses", JobSpec{ChaosGCPauses: -1}, "chaos_gcpauses"},
+		{"negative heartbeat", JobSpec{HeartbeatMS: -1}, "heartbeat_ms"},
 	} {
 		spec := tc.spec
 		if err := spec.validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -442,6 +501,17 @@ func TestJobSpecValidation(t *testing.T) {
 	}
 	if sp.Tenant != "default" || sp.Bench != "fw" || sp.Driver != "im" || sp.N != 128 || sp.Block != 32 {
 		t.Fatalf("spec defaults wrong: %+v", sp)
+	}
+	// A GC-pause plan defaults the detector on; otherwise it stays off.
+	gc := JobSpec{ChaosGCPauses: 2}
+	if err := gc.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gc.HeartbeatMS != 2000 {
+		t.Fatalf("gcpause heartbeat default = %d, want 2000", gc.HeartbeatMS)
+	}
+	if sp.HeartbeatMS != 0 {
+		t.Fatalf("detector must stay off without chaos: %+v", sp)
 	}
 }
 

@@ -165,6 +165,14 @@ type Store struct {
 	repPending map[string]struct{}
 	repWorker  bool
 
+	// Fault-domain-aware replica placement (tier.go): when configured
+	// via SetReplicaDomains, each landed replica is recorded as living
+	// in the rack after its origin's, so a correlated rack failure can
+	// invalidate exactly the replicas it would physically take out.
+	domains       int
+	originOf      func(key string) int
+	replicaDomain map[string]int
+
 	reg        *obs.Registry
 	flight     *obs.FlightRecorder
 	spilled    *obs.Counter
@@ -306,6 +314,7 @@ func (s *Store) Delete(key string) {
 	if e, ok := s.blocks[key]; ok {
 		s.dropLocked(e)
 	}
+	delete(s.replicaDomain, key)
 	remote := s.remote
 	s.mu.Unlock()
 	if remote != nil {
@@ -328,6 +337,11 @@ func (s *Store) DeletePrefix(prefix string) int {
 	}
 	for _, e := range victims {
 		s.dropLocked(e)
+	}
+	for k := range s.replicaDomain {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.replicaDomain, k)
+		}
 	}
 	remote := s.remote
 	s.mu.Unlock()

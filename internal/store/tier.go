@@ -156,6 +156,56 @@ func (s *Store) AttachRemote(t Tier, policy func(key string) bool) {
 	}
 }
 
+// SetReplicaDomains turns on fault-domain-aware replica placement:
+// originOf maps a block key to the rack (fault domain) of the node that
+// produced it, and each replica is recorded as living in the *next*
+// rack — never co-located with its origin's domain, so a single rack
+// failure cannot take both copies. The placement is bookkeeping over
+// the shared tier (the FSTier directory stands in for all racks); what
+// it buys is that DropRemoteDomain can invalidate exactly the replicas
+// a correlated rack failure would physically destroy. No-op with fewer
+// than two racks or a nil mapper.
+func (s *Store) SetReplicaDomains(racks int, originOf func(key string) int) {
+	if racks < 2 || originOf == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.domains = racks
+	s.originOf = originOf
+	if s.replicaDomain == nil {
+		s.replicaDomain = make(map[string]int)
+	}
+}
+
+// DropRemoteDomain deletes every remote replica recorded as living in
+// fault domain d and returns how many were dropped. Called when a rack
+// failure takes out domain d: restores of those keys must fail over to
+// recompute, exactly as if the rack's disks burned with its executors.
+// No-op without an attached tier or domain tracking.
+func (s *Store) DropRemoteDomain(d int) int {
+	s.mu.Lock()
+	remote := s.remote
+	var victims []string
+	for k, dom := range s.replicaDomain {
+		if dom == d {
+			victims = append(victims, k)
+			delete(s.replicaDomain, k)
+		}
+	}
+	s.mu.Unlock()
+	if remote == nil {
+		return 0
+	}
+	sort.Strings(victims)
+	for _, k := range victims {
+		// Physical destruction, not simulated traffic: proceeds
+		// regardless of the availability gate, like Delete.
+		remote.Delete(k)
+	}
+	return len(victims)
+}
+
 // RemoteAttached reports whether a remote tier is wired behind the store.
 func (s *Store) RemoteAttached() bool {
 	s.mu.Lock()
@@ -337,6 +387,11 @@ func (s *Store) repWorkerLoop() {
 			s.stats.ReplicatedBlocks++
 			if s.replicated != nil {
 				s.replicated.Inc()
+			}
+			if s.domains > 1 {
+				// Place the replica in the rack after its origin's so no
+				// single fault domain holds both copies of a block.
+				s.replicaDomain[key] = (s.originOf(key) + 1) % s.domains
 			}
 			s.recordFlight(obs.EvReplication, key)
 		}
