@@ -78,6 +78,9 @@ func main() {
 	tenantRunning := fs.Int("tenant-running", 0, "per-tenant running-job cap, 0 = auto (serve command)")
 	tenantPending := fs.Int("tenant-pending", 0, "per-tenant queued-job cap, 0 = auto (serve command)")
 	drainGrace := fs.Duration("drain-grace", 30*time.Second, "graceful-drain window on SIGTERM before in-flight jobs are cancelled (serve command)")
+	journalDir := fs.String("journal", "", "crash-safe serving: write-ahead job journal + per-job durable checkpoints under this directory; on start the journal is replayed — terminal jobs keep their results, queued jobs re-enter the queue, mid-run jobs resume from their latest checkpoint (serve command)")
+	maxAttempts := fs.Int("max-attempts", 1, "run attempts per job on engine errors, with exponential backoff (serve command)")
+	poison := fs.Int("poison-threshold", 3, "panics/crash-restarts before a job is quarantined instead of retried (serve command)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -565,22 +568,56 @@ func main() {
 				return fmt.Errorf("serve: -listen is required (e.g. -listen :8080)")
 			}
 			srv, err := serve.New(serve.Config{
-				KernelThreads: *kernelThreads,
-				MaxQueue:      *maxQueue,
-				MaxRunning:    *maxJobs,
-				TenantRunning: *tenantRunning,
-				TenantPending: *tenantPending,
-				DrainGrace:    *drainGrace,
-				Observer:      observer,
+				KernelThreads:   *kernelThreads,
+				MaxQueue:        *maxQueue,
+				MaxRunning:      *maxJobs,
+				TenantRunning:   *tenantRunning,
+				TenantPending:   *tenantPending,
+				DrainGrace:      *drainGrace,
+				Observer:        observer,
+				JournalDir:      *journalDir,
+				MaxAttempts:     *maxAttempts,
+				PoisonThreshold: *poison,
 			})
 			if err != nil {
 				return err
 			}
-			h, err := srv.ListenAndServe(*listen)
-			if err != nil {
+			// A serve-level panic or fatal exit dumps the flight-recorder
+			// ring next to the journal — the post-mortem for crashes the
+			// journal alone cannot explain. (Per-job quarantine dumps are
+			// stamped with their job ID by the server itself.)
+			defer func() {
+				if p := recover(); p != nil {
+					if path := srv.DumpFlight("panic"); path != "" {
+						fmt.Fprintf(os.Stderr, "dpspark: panic — flight ring dumped to %s\n", path)
+					}
+					panic(p)
+				}
+			}()
+			fatal := func(err error) error {
+				if err != nil && *journalDir != "" {
+					if path := srv.DumpFlight("fatal"); path != "" {
+						fmt.Fprintf(os.Stderr, "dpspark: fatal — flight ring dumped to %s\n", path)
+					}
+				}
 				return err
 			}
-			fmt.Printf("dpspark job service on http://%s (POST /jobs, GET /jobs, POST /jobs/{id}/cancel, /metrics, /events, /healthz)\n", h.Addr())
+			// Bind before replaying: /healthz answers (liveness) while
+			// /readyz stays 503 until Recover finishes.
+			h, err := srv.ListenAndServe(*listen)
+			if err != nil {
+				return fatal(err)
+			}
+			rs, err := srv.Recover()
+			if err != nil {
+				_ = h.Close()
+				return fatal(fmt.Errorf("serve: journal replay: %w", err))
+			}
+			if *journalDir != "" {
+				fmt.Printf("journal %s replayed: %d terminal, %d requeued, %d resumed, %d quarantined (%d torn bytes dropped)\n",
+					*journalDir, rs.Terminal, rs.Requeued, rs.Resumed, rs.Quarantined, rs.DroppedBytes)
+			}
+			fmt.Printf("dpspark job service on http://%s (POST /jobs, GET /jobs, GET /jobs/{id}/result, POST /jobs/{id}/cancel, /metrics, /events, /healthz, /readyz)\n", h.Addr())
 			fmt.Printf("limits: %d running, %d queued, drain grace %s — SIGTERM drains gracefully\n",
 				*maxJobs, *maxQueue, *drainGrace)
 			ch := make(chan os.Signal, 2)
@@ -594,7 +631,7 @@ func main() {
 			}()
 			srv.Drain()
 			_ = h.Close()
-			var done, failed, cancelled int
+			var done, failed, cancelled, quarantined int
 			for _, j := range srv.Jobs() {
 				switch j.State {
 				case serve.StateDone:
@@ -603,9 +640,11 @@ func main() {
 					failed++
 				case serve.StateCancelled:
 					cancelled++
+				case serve.StateQuarantined:
+					quarantined++
 				}
 			}
-			fmt.Printf("drained: %d done, %d failed, %d cancelled\n", done, failed, cancelled)
+			fmt.Printf("drained: %d done, %d failed, %d cancelled, %d quarantined\n", done, failed, cancelled, quarantined)
 			return nil
 		default:
 			usage()
@@ -895,7 +934,10 @@ commands:
   sweep       autotune search over the full tuning space
   serve       long-lived multi-tenant job service: HTTP job submission with
               admission control, per-tenant quotas + fault isolation on one
-              shared cluster, graceful drain on SIGTERM
+              shared cluster, graceful drain on SIGTERM; -journal DIR makes
+              it crash-safe — every lifecycle transition is journaled, jobs
+              checkpoint durably, and a killed server restarts with results
+              intact, the queue rebuilt and mid-run jobs resumed
   all         tables, figures and ablations
 
 flags: -n <size> (default 32768), -csv <dir>, -v,
@@ -911,7 +953,10 @@ flags: -n <size> (default 32768), -csv <dir>, -v,
                        the serve command's job API binds here),
        -flight <file> (flight-recorder event tail as JSON lines),
        -max-queue / -max-jobs / -tenant-running / -tenant-pending /
-       -drain-grace <dur> (serve admission + drain limits)
+       -drain-grace <dur> (serve admission + drain limits),
+       -journal <dir> / -max-attempts <n> / -poison-threshold <n>
+       (serve crash safety: job journal + checkpoint resume, bounded
+        retries, poison-job quarantine)
 
 signals: SIGINT/SIGTERM stop batch commands gracefully — durable and
 resume checkpoint at the next iteration boundary first; a second signal

@@ -120,7 +120,19 @@ func (run *runner) persist(parts [][]Block, k int) error {
 		// intact files on disk.
 		store.GCCheckpoints(run.cfg.DurableDir, run.cfg.KeepCheckpoints)
 	}
+	if run.cfg.OnCheckpoint != nil {
+		run.cfg.OnCheckpoint(k + 1)
+	}
 	return nil
+}
+
+// CanResume reports whether dir holds at least one intact checkpoint —
+// the cheap existence probe a restarting job service uses to decide
+// between checkpoint resume and a clean re-run before committing to
+// either path.
+func CanResume(dir string) bool {
+	_, _, _, ok := store.LatestCheckpoint(dir)
+	return ok
 }
 
 // LoadCheckpoint returns the newest intact checkpoint under dir (torn or

@@ -12,12 +12,21 @@ import (
 // Handler returns the service's HTTP mux:
 //
 //	POST /jobs             submit a JobSpec; 202 with the job's status,
-//	                       400 on an invalid spec, 429 + Retry-After
+//	                       400 on an invalid spec, 409 on an
+//	                       idempotency-key conflict, 429 + Retry-After
 //	                       when the queue or a tenant quota is full,
-//	                       503 while draining
+//	                       500 on a journal write failure, 503 while
+//	                       draining or before journal replay finishes
 //	GET  /jobs             list all jobs, newest first
 //	GET  /jobs/{id}        one job's status
+//	GET  /jobs/{id}/result a terminal job's persisted result (409 with
+//	                       the live status while still in flight) —
+//	                       byte-identical across server restarts
 //	POST /jobs/{id}/cancel cancel a queued or running job
+//	GET  /readyz           readiness: 200 once journal replay is done
+//	                       and until drain begins, 503 otherwise —
+//	                       distinct from /healthz liveness, which stays
+//	                       200 whenever the process can answer at all
 //
 // plus the observer's scrape endpoints (/metrics, /healthz, /events,
 // /debug/critpath) on the same mux, so one port serves job control,
@@ -29,6 +38,24 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(p, obsH)
 	}
 
+	// Liveness vs readiness: /healthz (above, from the observer) answers
+	// "is the process alive" and must stay 200 during replay and drain so
+	// orchestrators don't kill a server that is busy recovering; /readyz
+	// answers "should traffic be routed here" and gates both windows.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case s.Draining():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+		case !s.Ready():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not-ready: journal replay in progress")
+		default:
+			fmt.Fprintln(w, "ready")
+		}
+	})
+
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
@@ -38,23 +65,45 @@ func (s *Server) Handler() http.Handler {
 		j, err := s.Submit(spec)
 		if err != nil {
 			var rej *errRejected
-			if errors.As(err, &rej) {
-				if rej.reason == "draining" {
-					writeJSONError(w, http.StatusServiceUnavailable, "server draining")
-					return
-				}
+			var conflict *errIdemConflict
+			var internal *errInternal
+			switch {
+			case errors.As(err, &conflict):
+				// Same key, different spec: the client is not retrying,
+				// it is trying to reuse a key. Refuse loudly.
+				writeJSONError(w, http.StatusConflict, conflict.Error())
+			case errors.As(err, &internal):
+				writeJSONError(w, http.StatusInternalServerError, internal.Error())
+			case errors.As(err, &rej) && (rej.reason == "draining" || rej.reason == "not_ready"):
+				writeJSONError(w, http.StatusServiceUnavailable, rej.reason)
+			case errors.As(err, &rej):
 				// Overloaded, not broken: tell the client when to come
 				// back instead of queueing unboundedly. The hint scales
 				// with the backlog so retries spread out under load.
 				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 				writeJSONError(w, http.StatusTooManyRequests, rej.reason)
-				return
+			default:
+				writeJSONError(w, http.StatusBadRequest, err.Error())
 			}
-			writeJSONError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		st, _ := s.Status(j.ID)
 		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, terminal, found := s.Result(r.PathValue("id"))
+		if !found {
+			writeJSONError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		if !terminal {
+			// In flight: the result does not exist yet. 409 with the live
+			// state tells the client to poll, not to resubmit.
+			writeJSON(w, http.StatusConflict, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {

@@ -21,6 +21,20 @@
 //     graceful drain on SIGTERM (stop admitting, let in-flight jobs
 //     finish within a grace window, then cancel what remains and dump
 //     the flight recorder).
+//   - Crash safety: with Config.JournalDir set, every lifecycle
+//     transition is journaled (write-ahead, CRC32C-framed, fsynced —
+//     see journal.go) and every job checkpoints durably under the
+//     journal directory. A server killed at ANY point — SIGKILL
+//     included — restarts via Recover: terminal jobs serve their
+//     persisted results, queued jobs re-enter the queue in the original
+//     priority/FIFO order, and jobs caught mid-run resume from their
+//     latest durable checkpoint (or re-run cleanly from the journaled
+//     spec), bit-identical either way. Idempotency keys make retried
+//     submissions after an ambiguous failure return the original job
+//     instead of double-running; bounded per-job retries absorb engine
+//     errors; and a job that panics or crashes the server repeatedly is
+//     quarantined with a flight-recorder dump instead of wedging the
+//     service in a crash loop.
 package serve
 
 import (
@@ -30,7 +44,10 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -76,9 +93,32 @@ type Config struct {
 	// the whole process. Default: a fresh observer.
 	Observer *obs.Observer
 
+	// JournalDir, when non-empty, turns on crash safety: the job journal
+	// lives at JournalDir/journal.log, per-job durable checkpoints under
+	// JournalDir/ckpt/<jobID>, and the server starts NOT ready — call
+	// Recover to replay the journal before serving. Empty: in-memory
+	// only (a crash loses all job state), ready immediately.
+	JournalDir string
+	// MaxAttempts bounds run attempts per job on engine errors (a
+	// deadline or client cancel never retries). Default 1 — no retries;
+	// JobSpec.MaxAttempts overrides per job.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry, doubling each
+	// further attempt (capped at 1s). Default 50ms.
+	RetryBackoff time.Duration
+	// PoisonThreshold quarantines a job once its panics plus the server
+	// crashes it was caught mid-run in reach this count: the job lands in
+	// the terminal "quarantined" state with a flight-recorder dump
+	// attached instead of crash-looping the service. Default 3.
+	PoisonThreshold int
+
 	// hook, when set, runs inside each job's goroutine right before the
 	// engine run — the test seam for panic containment.
 	hook func(j *Job)
+	// replayHook, when set, runs inside Recover after the journal has
+	// been replayed but before the server flips ready — the test seam
+	// for readiness gating.
+	replayHook func()
 }
 
 // normalize validates and defaults the Config in place — the single
@@ -105,6 +145,15 @@ func (cfg *Config) normalize() error {
 	if cfg.RealParallelism < 0 {
 		return fmt.Errorf("serve: Config.RealParallelism must be ≥ 0 (0 means NumCPU), got %d", cfg.RealParallelism)
 	}
+	if cfg.MaxAttempts < 0 || cfg.MaxAttempts > 16 {
+		return fmt.Errorf("serve: Config.MaxAttempts must be in [0, 16] (0 means the default 1), got %d", cfg.MaxAttempts)
+	}
+	if cfg.RetryBackoff < 0 {
+		return fmt.Errorf("serve: Config.RetryBackoff must be ≥ 0 (0 means the default 50ms), got %v", cfg.RetryBackoff)
+	}
+	if cfg.PoisonThreshold < 0 {
+		return fmt.Errorf("serve: Config.PoisonThreshold must be ≥ 0 (0 means the default 3), got %d", cfg.PoisonThreshold)
+	}
 	if cfg.Cluster == nil {
 		cfg.Cluster = cluster.LocalN(4, 2)
 	}
@@ -122,6 +171,15 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.DrainGrace == 0 {
 		cfg.DrainGrace = 30 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.PoisonThreshold == 0 {
+		cfg.PoisonThreshold = 3
 	}
 	if cfg.Observer == nil {
 		cfg.Observer = obs.New()
@@ -168,6 +226,18 @@ type JobSpec struct {
 	// milliseconds. Default 2000 when ChaosGCPauses > 0; 0 otherwise
 	// (detector off, instant failure detection).
 	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// IdempotencyKey, when non-empty, makes admission idempotent: a
+	// later submission with the same key and an equal spec returns the
+	// ORIGINAL job (same ID, same eventual result) instead of admitting
+	// a duplicate — the safe client response to an ambiguous failure
+	// (timeout, connection drop, server crash after the journal fsync).
+	// The same key with a DIFFERENT spec is a conflict (HTTP 409). Keys
+	// survive restarts through the journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// MaxAttempts overrides Config.MaxAttempts for this job: the run is
+	// retried on engine errors up to this many attempts with exponential
+	// backoff. 0 means the server default; capped at 16.
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // validate checks and defaults a submitted spec.
@@ -214,6 +284,12 @@ func (sp *JobSpec) validate() error {
 	if sp.ChaosGCPauses > 0 && sp.HeartbeatMS == 0 {
 		sp.HeartbeatMS = 2000 // a GC-pause plan needs the detector on
 	}
+	if len(sp.IdempotencyKey) > 256 {
+		return fmt.Errorf("serve: idempotency_key longer than 256 bytes")
+	}
+	if sp.MaxAttempts < 0 || sp.MaxAttempts > 16 {
+		return fmt.Errorf("serve: max_attempts must be in [0, 16] (0 means the server default), got %d", sp.MaxAttempts)
+	}
 	return nil
 }
 
@@ -242,7 +318,17 @@ const (
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	// StateQuarantined is the poison-job terminal state: the job
+	// panicked or was caught mid-run across server crashes
+	// Config.PoisonThreshold times, so the server stopped retrying it
+	// and attached a flight-recorder dump for diagnosis.
+	StateQuarantined JobState = "quarantined"
 )
+
+// terminal reports whether a state is final.
+func (st JobState) terminal() bool {
+	return st != StateQueued && st != StateRunning
+}
 
 // Job is one admitted job. All mutable fields are guarded by the
 // server's mu.
@@ -260,6 +346,16 @@ type Job struct {
 	// requests arriving earlier are remembered in cancelCause.
 	ctx         *rdd.Context
 	cancelCause error
+
+	// attempts counts dispatched run attempts; panics counts in-process
+	// panics; crashes counts server crashes that caught the job mid-run
+	// (replayed from the journal). panics+crashes reaching the poison
+	// threshold quarantines the job.
+	attempts int
+	panics   int
+	crashes  int
+	// flightDump is the flight-recorder dump attached at quarantine.
+	flightDump string
 
 	checksum uint64
 	modelled float64 // virtual seconds
@@ -284,14 +380,19 @@ type Server struct {
 	sub  *rdd.Substrate
 	obsv *obs.Observer
 
+	// jl is the write-ahead job journal (nil without JournalDir).
+	jl *journal
+
 	mu            sync.Mutex
 	jobs          map[string]*Job
 	queue         []*Job // admitted, not yet running
+	idem          map[string]*Job
 	seq           uint64
 	running       int
 	tenantRunning map[string]int
 	tenantPending map[string]int
 	draining      bool
+	ready         bool
 	wg            sync.WaitGroup
 
 	queuedGauge  *obs.Gauge
@@ -316,12 +417,31 @@ func New(cfg Config) (*Server, error) {
 		sub:           sub,
 		obsv:          cfg.Observer,
 		jobs:          make(map[string]*Job),
+		idem:          make(map[string]*Job),
 		tenantRunning: make(map[string]int),
 		tenantPending: make(map[string]int),
+		// A journal-backed server starts NOT ready: Recover must replay
+		// the journal first, so /readyz gates traffic until then.
+		ready: cfg.JournalDir == "",
+	}
+	if cfg.JournalDir != "" {
+		jl, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.jl = jl
 	}
 	s.queuedGauge = s.obsv.Metrics().Gauge("dpspark_jobs_queued", nil)
 	s.runningGauge = s.obsv.Metrics().Gauge("dpspark_jobs_running", nil)
 	return s, nil
+}
+
+// Ready reports whether the server is accepting jobs: true once any
+// journal replay has finished and until Drain begins.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready && !s.draining
 }
 
 // Observer returns the server's observability sink (shared with every
@@ -339,26 +459,65 @@ func (s *Server) rejectedCounter(tenant, reason string) *obs.Counter {
 }
 
 // errRejected is returned by Submit for admission-control rejections;
-// the HTTP layer maps it to 429 (or 503 while draining).
+// the HTTP layer maps it to 429 (or 503 while draining or before
+// journal replay has finished).
 type errRejected struct {
-	reason string // "queue_full" | "tenant_quota" | "draining"
+	reason string // "queue_full" | "tenant_quota" | "draining" | "not_ready"
 }
 
 func (e *errRejected) Error() string { return "serve: rejected: " + e.reason }
 
+// errIdemConflict is returned by Submit when an idempotency key is
+// reused with a different spec; the HTTP layer maps it to 409.
+type errIdemConflict struct {
+	key string
+	job string // the job holding the key
+}
+
+func (e *errIdemConflict) Error() string {
+	return fmt.Sprintf("serve: idempotency key %q already used by %s with a different spec", e.key, e.job)
+}
+
+// errInternal wraps server-side failures (journal write errors) the
+// HTTP layer maps to 500 — the ambiguous-outcome class idempotency keys
+// exist for.
+type errInternal struct{ err error }
+
+func (e *errInternal) Error() string { return e.err.Error() }
+func (e *errInternal) Unwrap() error { return e.err }
+
 // Submit validates, admits and enqueues a job, returning its ID. A
 // *errRejected error means admission control turned the job away (the
-// queue or the tenant's pending quota is full, or the server is
-// draining) — with zero effect on admitted jobs.
+// queue or the tenant's pending quota is full, the server is draining,
+// or journal replay has not finished) — with zero effect on admitted
+// jobs. A spec whose IdempotencyKey matches a previously admitted equal
+// spec returns the ORIGINAL job without admitting anything; the same
+// key with a different spec is a *errIdemConflict.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.ready {
+		s.rejectedCounter(spec.Tenant, "not_ready").Inc()
+		return nil, &errRejected{reason: "not_ready"}
+	}
 	if s.draining {
 		s.rejectedCounter(spec.Tenant, "draining").Inc()
 		return nil, &errRejected{reason: "draining"}
+	}
+	if spec.IdempotencyKey != "" {
+		if prev, ok := s.idem[spec.IdempotencyKey]; ok {
+			// Specs are flat comparable structs and both sides have been
+			// validated, so equality is exact: a retried submission
+			// matches, a repurposed key does not.
+			if prev.Spec != spec {
+				return nil, &errIdemConflict{key: spec.IdempotencyKey, job: prev.ID}
+			}
+			s.jobCounter("deduped", spec.Tenant).Inc()
+			return prev, nil
+		}
 	}
 	if len(s.queue) >= s.cfg.MaxQueue {
 		s.rejectedCounter(spec.Tenant, "queue_full").Inc()
@@ -368,17 +527,29 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.rejectedCounter(spec.Tenant, "tenant_quota").Inc()
 		return nil, &errRejected{reason: "tenant_quota"}
 	}
-	s.seq++
 	j := &Job{
-		ID:        fmt.Sprintf("job-%d", s.seq),
+		ID:        fmt.Sprintf("job-%d", s.seq+1),
 		Spec:      spec,
 		state:     StateQueued,
-		seq:       s.seq,
+		seq:       s.seq + 1,
 		submitted: time.Now(),
 	}
+	if s.jl != nil {
+		// Write-ahead: the admission record (with the full spec) must be
+		// durable BEFORE the job becomes visible, so an admitted job can
+		// always be re-run from its journaled spec after a crash.
+		rec := journalRecord{Type: recAdmitted, Job: j.ID, Seq: j.seq, Spec: &j.Spec}
+		if err := s.jl.append(rec); err != nil {
+			return nil, &errInternal{err: err}
+		}
+	}
+	s.seq++
 	s.jobs[j.ID] = j
 	s.queue = append(s.queue, j)
 	s.tenantPending[spec.Tenant]++
+	if spec.IdempotencyKey != "" {
+		s.idem[spec.IdempotencyKey] = j
+	}
 	s.jobCounter("admitted", spec.Tenant).Inc()
 	s.obsv.Flight().Record(obs.Event{
 		Type: obs.EvJobSubmit, Job: j.ID, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
@@ -426,20 +597,76 @@ func (s *Server) updateGaugesLocked() {
 }
 
 // runJob executes one job on its own engine context mounted on the
-// shared substrate. Panics anywhere in the job (kernel bugs, bad
-// configs) are contained here: the job fails, the server and sibling
-// jobs keep running.
+// shared substrate, retrying bounded engine errors with exponential
+// backoff. Panics anywhere in an attempt (kernel bugs, bad configs) are
+// contained: below the poison threshold they retry like engine errors,
+// at it the job is quarantined — either way the server and sibling jobs
+// keep running.
 func (s *Server) runJob(j *Job) {
 	defer s.wg.Done()
+	maxAttempts := j.Spec.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = s.cfg.MaxAttempts
+	}
+	backoff := s.cfg.RetryBackoff
+	for {
+		s.mu.Lock()
+		j.attempts++
+		attempt := j.attempts
+		s.mu.Unlock()
+		s.journalAppend(journalRecord{Type: recDispatched, Job: j.ID, Attempt: attempt})
+		sum, modelled, err, panicked := s.attemptOnce(j)
+		if panicked {
+			s.mu.Lock()
+			j.panics++
+			strikes := j.panics + j.crashes
+			s.mu.Unlock()
+			if strikes >= s.cfg.PoisonThreshold {
+				s.quarantineJob(j, err, true)
+				return
+			}
+		}
+		if err == nil || errors.Is(err, rdd.ErrJobCanceled) {
+			s.finishJob(j, sum, modelled, err)
+			return
+		}
+		// An engine error (or a below-threshold panic): retry while the
+		// budget allows and the server is not shutting down. Panics are
+		// budgeted by the poison threshold, engine errors by MaxAttempts.
+		if s.Draining() || (!panicked && attempt >= maxAttempts) {
+			s.finishJob(j, sum, modelled, err)
+			return
+		}
+		s.journalAppend(journalRecord{Type: recRetry, Job: j.ID, Attempt: attempt, Error: err.Error()})
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// attemptOnce runs one attempt with panic containment.
+func (s *Server) attemptOnce(j *Job) (sum uint64, modelled float64, err error, panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.finishJob(j, 0, 0, fmt.Errorf("panic: %v", p))
+			panicked = true
+			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
 	if s.cfg.hook != nil {
 		s.cfg.hook(j)
 	}
+	sum, modelled, err = s.runAttempt(j)
+	return
+}
 
+// runAttempt executes one engine run for j. With a journal, the run
+// checkpoints durably under the job's checkpoint directory, and — when
+// an intact checkpoint already exists (a crashed or retried run left
+// one) — resumes from it instead of starting over; resumed bits are
+// identical to an uninterrupted run's, so callers cannot tell which
+// path produced a result.
+func (s *Server) runAttempt(j *Job) (uint64, float64, error) {
 	spec := j.Spec
 	var plan *rdd.FaultPlan
 	r := (spec.N + spec.Block - 1) / spec.Block
@@ -460,14 +687,48 @@ func (s *Server) runJob(j *Job) {
 		// latency exercise false suspicion + zombie fencing in-service.
 		plan = plan.WithRandomGCPauses(spec.ChaosSeed+1, 4*r, s.cfg.Cluster.Nodes, spec.ChaosGCPauses)
 	}
-	ctx := rdd.NewContext(rdd.Conf{
+
+	rule := spec.rule()
+
+	// Resolve the resume-vs-clean decision from the disk, not the
+	// journal: checkpoints are written before their journal records, so
+	// after a crash the directory may be AHEAD of the journal, and a
+	// missing/torn directory simply falls back to a clean re-run from
+	// the journaled spec. Bits are identical either way.
+	var meta *core.CheckpointMeta
+	var ckptBl *matrix.Blocked
+	var ckptDir string
+	if s.jl != nil {
+		ckptDir = s.jl.ckptDir(j.ID)
+		if core.CanResume(ckptDir) {
+			if m, b, err := core.LoadCheckpoint(ckptDir); err == nil {
+				meta, ckptBl = m, b
+			}
+		}
+	}
+	if meta != nil &&
+		(meta.N != spec.N || meta.B != spec.Block ||
+			meta.Rule != rule.Name() || meta.Driver != spec.driverKind().String()) {
+		// A checkpoint that does not describe THIS spec (a recycled job
+		// ID, a hand-edited directory) must not poison the run — fall
+		// back to the clean re-run the journaled spec guarantees.
+		meta, ckptBl = nil, nil
+	}
+
+	conf := rdd.Conf{
 		Substrate:         s.sub,
 		Priority:          spec.Priority,
 		FaultPlan:         plan,
 		Observer:          s.obsv,
 		HeartbeatInterval: heartbeat,
 		JobLabel:          j.ID,
-	})
+	}
+	if meta != nil {
+		// Restore the interrupted run's scheduler state so stage
+		// numbering continues and already-fired fault events stay fired.
+		conf.Restore = &meta.Engine
+	}
+	ctx := rdd.NewContext(conf)
 
 	// Publish the context so Cancel reaches the engine, honouring a
 	// cancel that raced the start.
@@ -491,12 +752,29 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 
-	rule := spec.rule()
-	in := inputFor(rule, spec.N, spec.Seed)
-	bl := matrix.Block(in, spec.Block, rule.Pad(), rule.PadDiag())
-	out, st, err := core.Run(ctx, bl, core.Config{
+	ccfg := core.Config{
 		Rule: rule, BlockSize: spec.Block, Driver: spec.driverKind(),
-	})
+	}
+	if ckptDir != "" {
+		ccfg.DurableDir = ckptDir
+		ccfg.KeepCheckpoints = 2
+		ccfg.OnCheckpoint = func(it int) {
+			s.journalAppend(journalRecord{Type: recCheckpointed, Job: j.ID, Iteration: it})
+		}
+	}
+	var out *matrix.Blocked
+	var st *core.Stats
+	var err error
+	if meta != nil {
+		// Resume pins the interrupted run's scheduling shape.
+		ccfg.Partitions = meta.Partitions
+		ccfg.CheckpointEvery = meta.CheckpointEvery
+		out, st, err = core.Resume(ctx, meta, ckptBl, ccfg)
+	} else {
+		in := inputFor(rule, spec.N, spec.Seed)
+		bl := matrix.Block(in, spec.Block, rule.Pad(), rule.PadDiag())
+		out, st, err = core.Run(ctx, bl, ccfg)
+	}
 	var sum uint64
 	var modelled float64
 	if st != nil {
@@ -505,7 +783,18 @@ func (s *Server) runJob(j *Job) {
 	if err == nil && out != nil {
 		sum = denseChecksum(out.ToDense())
 	}
-	s.finishJob(j, sum, modelled, err)
+	return sum, modelled, err
+}
+
+// journalAppend appends a record, swallowing errors for log-only
+// transitions (a failed dispatch/checkpoint record degrades recovery
+// granularity, not correctness — the admission record is the one whose
+// failure must fail the operation, and Submit handles that itself).
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.jl == nil {
+		return
+	}
+	_ = s.jl.append(rec)
 }
 
 // finishJob records a job's outcome and frees its run slot.
@@ -535,8 +824,119 @@ func (s *Server) finishJob(j *Job, sum uint64, modelled float64, err error) {
 		Type: obs.EvJobFinish, Job: j.ID, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
 		Detail: fmt.Sprintf("%s tenant=%s state=%s checksum=%016x", j.ID, j.Spec.Tenant, j.state, sum),
 	})
+	s.journalTerminalLocked(j)
+	s.maybeCompactLocked()
 	s.dispatchLocked()
 	s.updateGaugesLocked()
+}
+
+// quarantineJob lands a poisoned job in the terminal quarantined state
+// with a flight-recorder dump attached, so a job that keeps panicking
+// (or keeps crashing the server) stops consuming run slots instead of
+// crash-looping the service. releaseSlot is true when the job holds a
+// run slot (the in-process path); Recover quarantines without one.
+func (s *Server) quarantineJob(j *Job, cause error, releaseSlot bool) {
+	dump := s.dumpFlightRing(j.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	j.state = StateQuarantined
+	j.errMsg = fmt.Sprintf("quarantined after %d panics and %d crash-restarts: %v", j.panics, j.crashes, cause)
+	j.flightDump = dump
+	if releaseSlot {
+		s.running--
+		s.tenantRunning[j.Spec.Tenant]--
+	}
+	s.jobCounter("quarantined", j.Spec.Tenant).Inc()
+	s.obsv.Flight().Record(obs.Event{
+		Type: obs.EvJobFinish, Job: j.ID, Stage: -1, Part: -1, Node: -1, Shuffle: -1,
+		Detail: fmt.Sprintf("%s tenant=%s state=%s %s", j.ID, j.Spec.Tenant, j.state, j.errMsg),
+	})
+	s.journalTerminalLocked(j)
+	if releaseSlot {
+		s.dispatchLocked()
+		s.updateGaugesLocked()
+	}
+}
+
+// dumpFlightRing writes the current flight-recorder ring to the journal
+// directory stamped with the triggering job's ID (or a caller-chosen
+// tag), returning the path ("" without a journal or on error). Exported
+// via DumpFlight for the serve binary's panic/fatal-exit path.
+func (s *Server) dumpFlightRing(tag string) string {
+	if s.jl == nil {
+		return ""
+	}
+	path := filepath.Join(s.jl.dir, "flight-"+tag+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	if err := s.obsv.Flight().WriteJSONL(f, 0); err != nil {
+		return ""
+	}
+	return path
+}
+
+// DumpFlight dumps the flight-recorder ring to the journal directory
+// under the given tag — the serve binary calls this on a process-level
+// panic or fatal exit so the last moments before death are kept next to
+// the journal. Returns the written path, or "" when the server has no
+// journal directory.
+func (s *Server) DumpFlight(tag string) string { return s.dumpFlightRing(tag) }
+
+// journalTerminalLocked appends a job's terminal record. Caller holds mu.
+func (s *Server) journalTerminalLocked(j *Job) {
+	if s.jl == nil {
+		return
+	}
+	_ = s.jl.append(terminalRecord(j))
+}
+
+// terminalRecord renders a terminal journal record from a finished job.
+func terminalRecord(j *Job) journalRecord {
+	return journalRecord{
+		Type: recTerminal, Job: j.ID, State: j.state,
+		Checksum: fmt.Sprintf("%016x", j.checksum), Modelled: j.modelled,
+		Error: j.errMsg, Flight: j.flightDump,
+	}
+}
+
+// maybeCompactLocked rewrites the journal as a compact snapshot once
+// enough records have accumulated: each job collapses to its admission
+// plus its current position (terminal outcome, crash count, or running
+// attempt), dropping per-checkpoint and per-retry chatter. Caller holds
+// mu.
+func (s *Server) maybeCompactLocked() {
+	if s.jl == nil || s.jl.len() < journalCompactThreshold {
+		return
+	}
+	_ = s.jl.compact(s.snapshotLocked())
+}
+
+// snapshotLocked renders the server's full job state as journal
+// records, in admission order. Caller holds mu.
+func (s *Server) snapshotLocked() []journalRecord {
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i].seq < all[k].seq })
+	recs := make([]journalRecord, 0, 2*len(all))
+	for _, j := range all {
+		recs = append(recs, journalRecord{Type: recAdmitted, Job: j.ID, Seq: j.seq, Spec: &j.Spec})
+		if j.crashes > 0 && !j.state.terminal() {
+			recs = append(recs, journalRecord{Type: recRecovered, Job: j.ID, Crashes: j.crashes})
+		}
+		switch {
+		case j.state.terminal():
+			recs = append(recs, terminalRecord(j))
+		case j.state == StateRunning:
+			recs = append(recs, journalRecord{Type: recDispatched, Job: j.ID, Attempt: j.attempts})
+		}
+	}
+	return recs
 }
 
 // Cancel cancels a job by ID: queued jobs leave the queue immediately,
@@ -566,6 +966,7 @@ func (s *Server) Cancel(id string, cause error) error {
 		j.errMsg = cause.Error()
 		j.finished = time.Now()
 		s.jobCounter("cancelled", j.Spec.Tenant).Inc()
+		s.journalTerminalLocked(j)
 		s.dispatchLocked()
 		s.updateGaugesLocked()
 		return nil
@@ -592,6 +993,10 @@ func (s *Server) Drain() {
 		j.finished = time.Now()
 		s.tenantPending[j.Spec.Tenant]--
 		s.jobCounter("cancelled", j.Spec.Tenant).Inc()
+		// A graceful drain is a decided outcome, not an ambiguous crash:
+		// journal the cancellation so a restart does not resurrect jobs
+		// whose callers were told "cancelled".
+		s.journalTerminalLocked(j)
 	}
 	s.queue = nil
 	s.updateGaugesLocked()
@@ -620,6 +1025,14 @@ func (s *Server) Drain() {
 		s.mu.Unlock()
 		<-done
 	}
+	if s.jl != nil {
+		// Everything terminal is journaled by now; compact so the next
+		// start replays a minimal snapshot, then release the handle.
+		s.mu.Lock()
+		_ = s.jl.compact(s.snapshotLocked())
+		s.mu.Unlock()
+		s.jl.close()
+	}
 }
 
 // Draining reports whether Drain has been requested.
@@ -646,6 +1059,9 @@ type JobStatus struct {
 	ModelledSeconds float64  `json:"modelled_seconds,omitempty"`
 	Checksum        string   `json:"checksum,omitempty"`
 	Error           string   `json:"error,omitempty"`
+	Attempts        int      `json:"attempts,omitempty"`
+	Crashes         int      `json:"crashes,omitempty"`
+	Flight          string   `json:"flight,omitempty"`
 }
 
 // statusLocked renders a job. Caller holds mu.
@@ -657,6 +1073,9 @@ func (j *Job) statusLocked() JobStatus {
 		Priority:        j.Spec.Priority,
 		ModelledSeconds: j.modelled,
 		Error:           j.errMsg,
+		Attempts:        j.attempts,
+		Crashes:         j.crashes,
+		Flight:          j.flightDump,
 	}
 	if !j.submitted.IsZero() {
 		st.Submitted = j.submitted.UTC().Format(time.RFC3339Nano)
@@ -698,6 +1117,189 @@ func (s *Server) Jobs() []JobStatus {
 		out[i] = j.statusLocked()
 	}
 	return out
+}
+
+// JobResult is the durable result surface: the fields of a terminal job
+// that are bit-stable across restarts. After a crash and Recover, a
+// terminal job's JobResult is byte-identical to what the original
+// server returned — the property idempotent clients rely on.
+type JobResult struct {
+	ID              string   `json:"id"`
+	State           JobState `json:"state"`
+	Checksum        string   `json:"checksum,omitempty"`
+	ModelledSeconds float64  `json:"modelled_seconds,omitempty"`
+	Error           string   `json:"error,omitempty"`
+}
+
+// Result returns a terminal job's persisted result. found reports
+// whether the job exists; terminal whether it has finished (a false
+// terminal means the result is not available yet, not never).
+func (s *Server) Result(id string) (res JobResult, terminal, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobResult{}, false, false
+	}
+	if !j.state.terminal() {
+		return JobResult{ID: j.ID, State: j.state}, false, true
+	}
+	res = JobResult{ID: j.ID, State: j.state, ModelledSeconds: j.modelled, Error: j.errMsg}
+	if j.state == StateDone {
+		res.Checksum = fmt.Sprintf("%016x", j.checksum)
+	}
+	return res, true, true
+}
+
+// RecoveryStats summarizes what Recover replayed.
+type RecoveryStats struct {
+	// Terminal jobs now serving persisted results.
+	Terminal int
+	// Queued jobs re-admitted in their original priority/FIFO order.
+	Requeued int
+	// Jobs caught mid-run, re-admitted to resume from their latest
+	// durable checkpoint (or re-run cleanly from the journaled spec).
+	Resumed int
+	// Jobs quarantined because repeated crashes caught them mid-run.
+	Quarantined int
+	// Bytes of torn journal tail dropped by the replay.
+	DroppedBytes int
+}
+
+// Recover replays the journal and flips the server ready. Without a
+// journal it only flips readiness. With one:
+//
+//   - terminal jobs are rebuilt from their journaled outcome and serve
+//     their persisted results (same bytes as before the crash);
+//   - queued jobs re-enter the queue with their original sequence
+//     numbers, so dispatch order (priority desc, FIFO within) is
+//     preserved;
+//   - jobs caught mid-run (a dispatched record with no terminal) gain a
+//     crash strike and are re-admitted to resume from their latest
+//     durable checkpoint — unless the strikes reach the poison
+//     threshold, in which case they are quarantined instead of
+//     crash-looping the server;
+//   - idempotency keys are rebuilt, so a client retrying a submission
+//     from before the crash still gets its original job back.
+//
+// The journal is then compacted to the recovered snapshot and dispatch
+// begins. Recover must be called exactly once, before serving traffic.
+func (s *Server) Recover() (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.jl == nil {
+		s.mu.Lock()
+		s.ready = true
+		s.mu.Unlock()
+		return stats, nil
+	}
+	recs, dropped, err := readJournal(s.jl.dir)
+	if err != nil {
+		return stats, err
+	}
+	stats.DroppedBytes = dropped
+
+	s.mu.Lock()
+	order := make([]*Job, 0, len(recs))
+	for _, rec := range recs {
+		switch rec.Type {
+		case recAdmitted:
+			if rec.Spec == nil || s.jobs[rec.Job] != nil {
+				continue // tolerate damaged or duplicated records
+			}
+			j := &Job{
+				ID: rec.Job, Spec: *rec.Spec, state: StateQueued,
+				seq: rec.Seq, submitted: time.Now(),
+			}
+			s.jobs[j.ID] = j
+			order = append(order, j)
+			if j.seq > s.seq {
+				s.seq = j.seq
+			}
+			if k := j.Spec.IdempotencyKey; k != "" {
+				s.idem[k] = j
+			}
+		case recDispatched:
+			if j := s.jobs[rec.Job]; j != nil && !j.state.terminal() {
+				j.state = StateRunning
+				j.attempts = rec.Attempt
+			}
+		case recRetry:
+			if j := s.jobs[rec.Job]; j != nil && !j.state.terminal() {
+				j.attempts = rec.Attempt
+			}
+		case recRecovered:
+			if j := s.jobs[rec.Job]; j != nil && !j.state.terminal() {
+				j.state = StateQueued
+				j.crashes = rec.Crashes
+			}
+		case recCheckpointed:
+			// Informational: resume reads the checkpoint DIRECTORY, which
+			// can only be ahead of the journal (checkpoints are written
+			// before their records), never behind.
+		case recTerminal:
+			j := s.jobs[rec.Job]
+			if j == nil {
+				continue
+			}
+			j.state = rec.State
+			if sum, perr := strconv.ParseUint(rec.Checksum, 16, 64); perr == nil {
+				j.checksum = sum
+			}
+			j.modelled = rec.Modelled
+			j.errMsg = rec.Error
+			j.flightDump = rec.Flight
+			j.finished = time.Now()
+		}
+	}
+
+	// Classify, in admission order so the queue rebuilds FIFO-correct.
+	for _, j := range order {
+		switch {
+		case j.state.terminal():
+			stats.Terminal++
+		case j.state == StateRunning:
+			// The crash caught this job mid-run: one strike, then either
+			// quarantine or re-admit for checkpoint resume.
+			j.crashes++
+			if j.panics+j.crashes >= s.cfg.PoisonThreshold {
+				j.state = StateQuarantined
+				j.errMsg = fmt.Sprintf("quarantined after %d crash-restarts caught the job mid-run", j.crashes)
+				j.finished = time.Now()
+				j.flightDump = s.dumpFlightRing(j.ID)
+				s.jobCounter("quarantined", j.Spec.Tenant).Inc()
+				stats.Quarantined++
+				continue
+			}
+			j.state = StateQueued
+			s.queue = append(s.queue, j)
+			s.tenantPending[j.Spec.Tenant]++
+			s.jobCounter("recovered", j.Spec.Tenant).Inc()
+			stats.Resumed++
+		default: // queued
+			s.queue = append(s.queue, j)
+			s.tenantPending[j.Spec.Tenant]++
+			stats.Requeued++
+		}
+	}
+	snap := s.snapshotLocked()
+	s.mu.Unlock()
+
+	// Compacting to the recovered snapshot is what persists the replay's
+	// decisions (crash strikes, recovery-time quarantines): rename is
+	// atomic, so a crash mid-compaction replays the OLD journal and
+	// re-derives the same decisions.
+	if err := s.jl.compact(snap); err != nil {
+		return stats, err
+	}
+	if s.cfg.replayHook != nil {
+		s.cfg.replayHook()
+	}
+	s.mu.Lock()
+	s.ready = true
+	s.dispatchLocked()
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	return stats, nil
 }
 
 // inputFor deterministically generates a job's input matrix from its

@@ -268,9 +268,16 @@ func TestDeadlineCancelsJob(t *testing.T) {
 }
 
 func TestPanicContainment(t *testing.T) {
-	cfg := Config{MaxRunning: 2}
+	// A persistently panicking job is retried up to the poison threshold
+	// and then quarantined — never crashing the server or its siblings.
+	cfg := Config{MaxRunning: 2, RetryBackoff: time.Millisecond}
+	attempts := 0
+	var amu sync.Mutex
 	cfg.hook = func(j *Job) {
 		if j.Spec.Tenant == "bomb" {
+			amu.Lock()
+			attempts++
+			amu.Unlock()
 			panic("kernel exploded")
 		}
 	}
@@ -286,9 +293,14 @@ func TestPanicContainment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := waitTerminal(t, s, bomb.ID); st.State != StateFailed || !strings.Contains(st.Error, "panic") {
-		t.Fatalf("panicking job: state=%s err=%q, want failed with panic", st.State, st.Error)
+	if st := waitTerminal(t, s, bomb.ID); st.State != StateQuarantined || !strings.Contains(st.Error, "panic") {
+		t.Fatalf("panicking job: state=%s err=%q, want quarantined with panic", st.State, st.Error)
 	}
+	amu.Lock()
+	if attempts != 3 { // the default PoisonThreshold
+		t.Fatalf("panicking job ran %d attempts, want 3 (the poison threshold)", attempts)
+	}
+	amu.Unlock()
 	// The sibling finishes and the server keeps admitting.
 	if st := waitTerminal(t, s, ok.ID); st.State != StateDone {
 		t.Fatalf("sibling job ended %s: %s", st.State, st.Error)
@@ -445,6 +457,10 @@ func TestServeConfNormalization(t *testing.T) {
 		{"negative DrainGrace", func(c *Config) { c.DrainGrace = -time.Second }, "DrainGrace"},
 		{"negative KernelThreads", func(c *Config) { c.KernelThreads = -1 }, "KernelThreads"},
 		{"negative RealParallelism", func(c *Config) { c.RealParallelism = -1 }, "RealParallelism"},
+		{"negative MaxAttempts", func(c *Config) { c.MaxAttempts = -1 }, "MaxAttempts"},
+		{"oversize MaxAttempts", func(c *Config) { c.MaxAttempts = 17 }, "MaxAttempts"},
+		{"negative RetryBackoff", func(c *Config) { c.RetryBackoff = -time.Second }, "RetryBackoff"},
+		{"negative PoisonThreshold", func(c *Config) { c.PoisonThreshold = -1 }, "PoisonThreshold"},
 	} {
 		cfg := Config{}
 		tc.mut(&cfg)
@@ -463,6 +479,9 @@ func TestServeConfNormalization(t *testing.T) {
 	}
 	if cfg.DrainGrace != 30*time.Second || cfg.Cluster == nil || cfg.Observer == nil {
 		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.MaxAttempts != 1 || cfg.RetryBackoff != 50*time.Millisecond || cfg.PoisonThreshold != 3 {
+		t.Fatalf("retry/poison defaults wrong: %+v", cfg)
 	}
 
 	// Per-tenant caps clamp to the global bounds.
@@ -489,6 +508,9 @@ func TestJobSpecValidation(t *testing.T) {
 		{"negative chaos", JobSpec{ChaosCrashes: -1}, "chaos"},
 		{"negative gcpauses", JobSpec{ChaosGCPauses: -1}, "chaos_gcpauses"},
 		{"negative heartbeat", JobSpec{HeartbeatMS: -1}, "heartbeat_ms"},
+		{"oversize idempotency key", JobSpec{IdempotencyKey: strings.Repeat("k", 257)}, "idempotency_key"},
+		{"negative max attempts", JobSpec{MaxAttempts: -1}, "max_attempts"},
+		{"oversize max attempts", JobSpec{MaxAttempts: 17}, "max_attempts"},
 	} {
 		spec := tc.spec
 		if err := spec.validate(); err == nil || !strings.Contains(err.Error(), tc.want) {

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Record framing for append-only journals. Each frame is
+//
+//	u32 magic "DPJ1" | u32 crc32c(payload) | u32 len(payload) | payload
+//
+// (little-endian), the same Castagnoli checksum the block and checkpoint
+// files use. Frames are meant to be appended to a single file and read
+// back sequentially after a crash: a reader walks NextFrame until the
+// first error, keeps everything before it, and drops the rest — a torn
+// tail (the normal state after SIGKILL mid-append) surfaces as
+// *CorruptError{Torn: true}, a damaged record as a checksum mismatch.
+// The serve job journal is the first consumer.
+
+// frameMagic marks one framed journal record ("DPJ1").
+const frameMagic = 0x44504a31
+
+// FrameHeaderLen is the fixed per-frame overhead: magic + crc + length.
+const FrameHeaderLen = 4 + 4 + 4
+
+// MaxFramePayload bounds one frame's payload (1 GiB) so a corrupted
+// length field cannot drive a reader into a giant allocation.
+const MaxFramePayload = 1 << 30
+
+// AppendFrame appends one CRC32C-framed record to buf and returns the
+// extended slice (append semantics — buf may be nil).
+func AppendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, frameMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// NextFrame splits the first frame off data, returning its payload and
+// the remaining bytes. Short data is a torn tail (*CorruptError with
+// Torn), a bad magic, oversized length or checksum mismatch is a
+// corrupt frame (*CorruptError without Torn). The returned payload
+// aliases data.
+func NextFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < FrameHeaderLen {
+		return nil, nil, &CorruptError{Key: "frame", Torn: true}
+	}
+	if binary.LittleEndian.Uint32(data) != frameMagic {
+		return nil, nil, &CorruptError{Key: "frame"}
+	}
+	want := binary.LittleEndian.Uint32(data[4:])
+	n := binary.LittleEndian.Uint32(data[8:])
+	if n > MaxFramePayload {
+		return nil, nil, &CorruptError{Key: "frame"}
+	}
+	if uint32(len(data)-FrameHeaderLen) < n {
+		return nil, nil, &CorruptError{Key: "frame", Torn: true}
+	}
+	payload = data[FrameHeaderLen : FrameHeaderLen+int(n)]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, &CorruptError{Key: "frame"}
+	}
+	return payload, data[FrameHeaderLen+int(n):], nil
+}
+
+// ReadFrames walks data frame by frame and returns every intact payload
+// before the first damaged or torn one, plus how many bytes of data
+// those frames consumed. It never fails: after a crash the caller keeps
+// the intact prefix and drops the tail, which is exactly the append-only
+// journal recovery contract.
+func ReadFrames(data []byte) (payloads [][]byte, consumed int) {
+	rest := data
+	for len(rest) > 0 {
+		p, r, err := NextFrame(rest)
+		if err != nil {
+			break
+		}
+		payloads = append(payloads, p)
+		rest = r
+	}
+	return payloads, len(data) - len(rest)
+}

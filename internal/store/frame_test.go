@@ -1,0 +1,100 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	records := [][]byte{
+		[]byte("first"),
+		{}, // empty payloads are legal records
+		[]byte(`{"type":"admitted","job":"job-1"}`),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var buf []byte
+	for _, r := range records {
+		buf = AppendFrame(buf, r)
+	}
+	got, consumed := ReadFrames(buf)
+	if consumed != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+	}
+	if len(got) != len(records) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], records[i])
+		}
+	}
+}
+
+func TestFrameTornTailDropsOnlyTail(t *testing.T) {
+	var buf []byte
+	for _, r := range [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc")} {
+		buf = AppendFrame(buf, r)
+	}
+	frameLen := len(buf) / 3
+	// Every truncation point: full frames before the cut survive, the
+	// torn frame and everything after it are dropped.
+	for cut := 0; cut < len(buf); cut++ {
+		got, consumed := ReadFrames(buf[:cut])
+		wantN := cut / frameLen
+		if len(got) != wantN {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), wantN)
+		}
+		if consumed != wantN*frameLen {
+			t.Fatalf("cut %d: consumed %d, want %d", cut, consumed, wantN*frameLen)
+		}
+	}
+	// NextFrame reports the torn tail explicitly.
+	if _, _, err := NextFrame(buf[frameLen : frameLen+3]); err == nil {
+		t.Fatal("torn second frame decoded")
+	} else if ce, ok := err.(*CorruptError); !ok || !ce.Torn {
+		t.Fatalf("torn tail error = %v, want *CorruptError{Torn}", err)
+	}
+}
+
+func TestFrameBitFlipStopsReplay(t *testing.T) {
+	var buf []byte
+	for _, r := range [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc")} {
+		buf = AppendFrame(buf, r)
+	}
+	frameLen := len(buf) / 3
+	// Flip one byte in every position of the middle frame: the first
+	// record always survives, the flipped one and the tail never decode
+	// as valid records beyond it (a payload flip kills the CRC, a header
+	// flip kills magic/len/crc).
+	for off := frameLen; off < 2*frameLen; off++ {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0x01
+		got, _ := ReadFrames(bad)
+		if len(got) < 1 || !bytes.Equal(got[0], []byte("aaaa")) {
+			t.Fatalf("flip at %d lost the intact leading record", off)
+		}
+		if len(got) > 1 && !bytes.Equal(got[1], []byte("bbbb")) {
+			t.Fatalf("flip at %d decoded a damaged record as %q", off, got[1])
+		}
+	}
+}
+
+func TestFrameGarbageAndBounds(t *testing.T) {
+	if _, _, err := NextFrame(nil); err == nil {
+		t.Fatal("nil input decoded")
+	}
+	if _, _, err := NextFrame([]byte("not a frame at all")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	// A frame header claiming an absurd length must fail cleanly rather
+	// than drive an allocation.
+	huge := AppendFrame(nil, []byte("x"))
+	huge[8], huge[9], huge[10], huge[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := NextFrame(huge); err == nil {
+		t.Fatal("oversized length decoded")
+	}
+	got, consumed := ReadFrames(nil)
+	if len(got) != 0 || consumed != 0 {
+		t.Fatalf("empty journal decoded %d records", len(got))
+	}
+}
